@@ -1,0 +1,31 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers the table/figure it reproduced with
+:func:`register_result`; a terminal-summary hook prints everything at the
+end of the run, so ``pytest benchmarks/ --benchmark-only | tee ...``
+captures the reproduced tables alongside pytest-benchmark's timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_RESULTS: Dict[str, str] = {}
+_ORDER: List[str] = []
+
+
+def register_result(name: str, rendered: str) -> None:
+    if name not in _RESULTS:
+        _ORDER.append(name)
+    _RESULTS[name] = rendered
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for name in _ORDER:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in _RESULTS[name].splitlines():
+            terminalreporter.write_line(line)

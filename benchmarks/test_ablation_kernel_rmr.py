@@ -1,0 +1,85 @@
+"""Ablation: kernel-level vs. library-level remote memory reference.
+
+§6.17.2 sketches a kernel handler for PEEK/POKE "More highly optimized
+PEEK and POKE primitives could be provided".  The kernel version skips
+the server's handler invocation (context switch) and ACCEPT invocation
+(client overhead), so a PEEK must be measurably cheaper.
+"""
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.core import ClientProgram, KernelConfig, Network
+from repro.extensions.kernel_rmr import kernel_peek
+from repro.facilities.rmr import RMR_PATTERN, MemoryServer, peek
+
+from conftest import register_result
+
+N_CALLS = 8
+PEEK_BYTES = 64
+
+
+def _measure_library() -> float:
+    net = Network(seed=31, keep_trace=False)
+    net.add_node(program=MemoryServer(size=256))
+    out = {}
+
+    class Prober(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(0, RMR_PATTERN)
+            yield from peek(api, sig, 0, PEEK_BYTES)
+            t0 = api.now
+            for _ in range(N_CALLS):
+                yield from peek(api, sig, 0, PEEK_BYTES)
+            out["per_call"] = (api.now - t0) / N_CALLS
+            yield from api.serve_forever()
+
+    net.add_node(program=Prober(), boot_at_us=100.0)
+    net.run(until=120_000_000.0)
+    return out["per_call"] / 1000.0
+
+
+def _measure_kernel() -> float:
+    net = Network(seed=31, config=KernelConfig(kernel_rmr=True), keep_trace=False)
+
+    class Host(ClientProgram):
+        def initialization(self, api, parent_mid):
+            api.kernel.client_register_rmr_memory(bytearray(256))
+            return
+            yield  # pragma: no cover
+
+    net.add_node(program=Host())
+    out = {}
+
+    class Prober(ClientProgram):
+        def task(self, api):
+            yield from kernel_peek(api, 0, 0, PEEK_BYTES)
+            t0 = api.now
+            for _ in range(N_CALLS):
+                yield from kernel_peek(api, 0, 0, PEEK_BYTES)
+            out["per_call"] = (api.now - t0) / N_CALLS
+            yield from api.serve_forever()
+
+    net.add_node(program=Prober(), boot_at_us=100.0)
+    net.run(until=120_000_000.0)
+    return out["per_call"] / 1000.0
+
+
+def test_kernel_rmr_vs_library_rmr(benchmark):
+    def run():
+        return _measure_library(), _measure_kernel()
+
+    library_ms, kernel_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["variant", "ms per 32-word PEEK"],
+        [
+            ("library RMR (client handler)", library_ms),
+            ("kernel RMR (reserved pattern)", kernel_ms),
+        ],
+        title="Ablation: remote memory reference placement (§6.17.2)",
+    )
+    rendered += f"\nspeedup: {library_ms / kernel_ms:.2f}x"
+    register_result("Ablation kernel RMR", rendered)
+    # Skipping the handler invocation + server-side ACCEPT must save at
+    # least a context switch plus one client overhead (~1.5 ms).
+    assert kernel_ms < library_ms - 1.0

@@ -1,0 +1,130 @@
+"""Ablations of the design choices DESIGN.md calls out (§5.2.3, §6).
+
+The paper attributes SODA's competitive numbers to piggybacking:
+acknowledgements deferred to ride on ACCEPTs and follow-on REQUESTs, and
+put-data riding on the first REQUEST transmission.  Disabling each
+feature must cost measurable packets and/or latency:
+
+* ``ack_defer_us = 0`` — every ack is a separate pure-ACK packet;
+* ``data_with_request = False`` — every PUT's data goes through the
+  ACCEPT-time pull (extra DATA round trip).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.workloads import run_stream
+from repro.core.config import KernelConfig, TimingModel
+
+from conftest import register_result
+
+
+def _run(config_kwargs=None, timing_kwargs=None, put_words=100):
+    timing = TimingModel(**(timing_kwargs or {}))
+    config = KernelConfig(timing=timing, **(config_kwargs or {}))
+    # run_stream builds its own Network; inject the config via a small
+    # shim around the workload module.
+    from repro.bench import workloads
+
+    original = workloads._build
+
+    def patched(pipelined, queued_accept, reply_bytes, seed):
+        from repro.core.node import Network
+
+        net = Network(seed=seed, config=config, keep_trace=False)
+        server = workloads.AcceptingServer(reply_bytes=reply_bytes)
+        net.add_node(program=server)
+        return net
+
+    workloads._build = patched
+    try:
+        return run_stream(put_words, 0)
+    finally:
+        workloads._build = original
+
+
+def test_ablation_ack_piggybacking(benchmark):
+    def run():
+        baseline = _run()
+        no_defer = _run(timing_kwargs={"ack_defer_us": 0.0})
+        return baseline, no_defer
+
+    baseline, no_defer = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["variant", "ms/PUT", "packets/PUT"],
+        [
+            ("piggybacked acks (default)", baseline.per_txn_ms, baseline.packets_per_txn),
+            ("immediate pure acks", no_defer.per_txn_ms, no_defer.packets_per_txn),
+        ],
+        title="Ablation: deferred-ack piggybacking (100-word PUT stream)",
+    )
+    register_result("Ablation ack piggybacking", rendered)
+    # Without deferral, each transaction needs extra pure-ACK packets.
+    assert no_defer.packets_per_txn > baseline.packets_per_txn + 0.5
+    assert baseline.packets_per_txn == pytest.approx(2.0, abs=0.3)
+
+
+def test_ablation_data_with_request(benchmark):
+    def run():
+        baseline = _run()
+        pull_only = _run(config_kwargs={"data_with_request": False})
+        return baseline, pull_only
+
+    baseline, pull_only = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["variant", "ms/PUT", "packets/PUT"],
+        [
+            ("data on first REQUEST (default)", baseline.per_txn_ms, baseline.packets_per_txn),
+            ("ACCEPT-time data pull", pull_only.per_txn_ms, pull_only.packets_per_txn),
+        ],
+        title="Ablation: put-data on the first REQUEST (100-word PUT stream)",
+    )
+    register_result("Ablation data-with-request", rendered)
+    assert pull_only.packets_per_txn > baseline.packets_per_txn + 0.9
+    assert pull_only.per_txn_ms > baseline.per_txn_ms
+
+
+def test_ablation_busy_backoff(benchmark):
+    """The decaying BUSY retry rate (§5.2.3) trades latency for bus load:
+    a much slower base rate must cost GET latency (it sits on the
+    non-pipelined GET critical path)."""
+    from repro.transport.retransmit import RetransmitPolicy
+
+    def run():
+        fast = _run_get(RetransmitPolicy())
+        slow = _run_get(
+            RetransmitPolicy(busy_retry_base_us=8_000.0, busy_retry_growth=1.0)
+        )
+        return fast, slow
+
+    def _run_get(policy):
+        from repro.bench import workloads
+        from repro.core.node import Network
+
+        config = KernelConfig(retransmit=policy)
+        original = workloads._build
+
+        def patched(pipelined, queued_accept, reply_bytes, seed):
+            net = Network(seed=seed, config=config, keep_trace=False)
+            net.add_node(program=workloads.AcceptingServer(reply_bytes=reply_bytes))
+            return net
+
+        workloads._build = patched
+        try:
+            return run_stream(0, 100)
+        finally:
+            workloads._build = original
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["variant", "ms/GET", "packets/GET"],
+        [
+            ("default busy backoff", fast.per_txn_ms, fast.packets_per_txn),
+            ("8 ms flat busy backoff", slow.per_txn_ms, slow.packets_per_txn),
+        ],
+        title="Ablation: BUSY retry pacing (100-word non-pipelined GET stream)",
+    )
+    register_result("Ablation busy backoff", rendered)
+    assert slow.per_txn_ms > fast.per_txn_ms + 3.0

@@ -1,0 +1,24 @@
+"""F1: the "Typical Delta-t Situations" figure (p. 106).
+
+Three scripted scenarios against live kernels: take-any expiry after
+silence, duplicate suppression while a record lives, and the post-crash
+quiet period.  Each must complete with the protocol behaving as the
+figure describes.
+"""
+
+from repro.bench.deltat_figure import deltat_scenarios
+
+from conftest import register_result
+
+
+def test_deltat_scenarios(benchmark):
+    results = benchmark.pedantic(deltat_scenarios, rounds=1, iterations=1)
+    lines = []
+    for scenario in results.values():
+        lines.append(f"{scenario.name}: {'ok' if scenario.ok else 'FAILED'}")
+        for t_ms, event in scenario.events:
+            lines.append(f"    t={t_ms:9.1f} ms  {event}")
+    register_result("F1 Delta-t situations", "\n".join(lines))
+    assert all(s.ok for s in results.values()), {
+        name: s.ok for name, s in results.items()
+    }

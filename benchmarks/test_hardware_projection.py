@@ -1,0 +1,78 @@
+"""§5.5.1: projected performance on better hardware.
+
+The paper lists its simulation's bottlenecks: a ~170k instr/s PDP-11, a
+1 Mbit/s bus, software interrupts.  This bench sweeps CPU speed and bus
+bandwidth to show where each regime is bound:
+
+* small messages are CPU-bound: faster silicon, not a faster bus, cuts
+  SIGNAL latency;
+* large messages split between the wire and the per-byte memory copies
+  (both ~16 us/word at baseline): a 10 Mbit bus removes the wire share,
+  and only the CPU upgrade removes the copy share — the paper's
+  scatter-gather observation (§5.5.1 item 6) in numbers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.workloads import AcceptingServer, StreamingRequester
+from repro.core.config import KernelConfig, TimingModel
+from repro.core.node import Network
+
+from conftest import register_result
+
+
+def _measure(cpu_factor: float, bandwidth_bps: int, put_words: int) -> float:
+    timing = TimingModel().scaled(cpu_factor)
+    net = Network(
+        seed=5,
+        config=KernelConfig(timing=timing),
+        bandwidth_bps=bandwidth_bps,
+        keep_trace=False,
+    )
+    net.add_node(program=AcceptingServer())
+    client = StreamingRequester(put_words * 2, 0, total=12)
+    net.add_node(program=client, boot_at_us=100.0)
+    net.run(until=120_000_000.0)
+    times = [t for t, _ in client.marks]
+    return (times[-1] - times[4]) / (len(times) - 5) / 1000.0
+
+
+def test_hardware_projection(benchmark):
+    def run():
+        grid = {}
+        for cpu in (1, 8):
+            for mbit in (1, 10):
+                for words in (1, 1000):
+                    grid[(cpu, mbit, words)] = _measure(
+                        cpu, mbit * 1_000_000, words
+                    )
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"{cpu}x", f"{mbit} Mbit", words, grid[(cpu, mbit, words)])
+        for cpu in (1, 8)
+        for mbit in (1, 10)
+        for words in (1, 1000)
+    ]
+    register_result(
+        "Hardware projection (§5.5.1)",
+        format_table(["CPU", "bus", "words", "ms/PUT"], rows,
+                     title="PUT latency under projected hardware"),
+    )
+    # Small messages: CPU dominates.
+    small_cpu_gain = grid[(1, 1, 1)] / grid[(8, 1, 1)]
+    small_bus_gain = grid[(1, 1, 1)] / grid[(1, 10, 1)]
+    assert small_cpu_gain > 3.0
+    assert small_bus_gain < 1.5
+    # Large messages: the bus upgrade removes the wire share (~16 ms of
+    # ~46); the copy share needs the CPU upgrade.
+    large_bus_gain = grid[(1, 1, 1000)] / grid[(1, 10, 1000)]
+    assert large_bus_gain > 1.3
+    large_cpu_gain = grid[(1, 1, 1000)] / grid[(8, 1, 1000)]
+    assert large_cpu_gain > 1.8
+    # Both together approach the sum of savings.
+    assert grid[(8, 10, 1000)] < grid[(1, 1, 1000)] / 4

@@ -1,0 +1,34 @@
+"""T4: the "Breakdown of Communications Overhead" table (p. 116).
+
+One 2-packet SIGNAL, cost-accounted by category.  Every category must
+land within 25% of the published value and the total near 7.1 ms.
+"""
+
+import pytest
+
+from repro.bench.breakdown import measure_signal_breakdown
+from repro.bench.tables import format_table
+
+from conftest import register_result
+
+
+def test_overhead_breakdown(benchmark):
+    result = benchmark.pedantic(measure_signal_breakdown, rounds=1, iterations=1)
+    rows = [
+        (name, result.measured_ms[name], result.paper_ms[name])
+        for name in result.paper_ms
+    ]
+    rows.append(("TOTAL", result.total_measured_ms, result.total_paper_ms))
+    rendered = format_table(
+        ["category", "measured ms", "paper ms"],
+        rows,
+        title="Breakdown of protocol time, 2 packets per SIGNAL",
+    )
+    rendered += f"\nelapsed B_SIGNAL call: {result.elapsed_call_ms:.2f} ms"
+    register_result("T4 overhead breakdown", rendered)
+
+    for name, paper_ms in result.paper_ms.items():
+        assert result.measured_ms[name] == pytest.approx(paper_ms, rel=0.25), name
+    assert result.total_measured_ms == pytest.approx(
+        result.total_paper_ms, rel=0.15
+    )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CSP with output guards over SODA (§4.2.5): a rendezvous pipeline.
+
+Three CSP processes form a pipeline with *symmetric* rendezvous at each
+stage — both parties run alternative commands with output AND input
+guards, the configuration that deadlocks naive implementations.
+Bernstein's MID-ordering keeps it live; the producer pushes numbers, the
+doubler transforms, the printer consumes.
+
+Run:  python examples/csp_pipeline.py
+"""
+
+import struct
+
+from repro.core import ClientProgram, Network
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.rendezvous import CspGuard, CspProcess
+
+NAME = [make_well_known_pattern(0o740 + i) for i in range(3)]
+TYPE_NUM = 1
+
+
+class Stage(ClientProgram):
+    def __init__(self, index: int, body):
+        self.csp = CspProcess(NAME[index])
+        self.body = body
+        self.index = index
+
+    def initialization(self, api, parent_mid):
+        yield from self.csp.install(api)
+
+    def handler(self, api, event):
+        consumed = yield from self.csp.handle_arrival(api, event)
+        if consumed:
+            return
+
+    def task(self, api):
+        yield from self.body(api, self)
+        yield from api.serve_forever()
+
+
+def producer(api, self):
+    for value in (3, 7, 11, 25):
+        out = CspGuard(
+            kind="output", msg_type=TYPE_NUM,
+            peer=api.server_sig(1, NAME[1]),
+            value=struct.pack(">i", value),
+        )
+        while (yield from self.csp.alternative(api, [out])) is None:
+            yield api.compute(2_000)
+        print(f"[{api.now/1000:8.2f} ms] producer: sent {value}")
+
+
+def doubler(api, self):
+    for _ in range(4):
+        take = CspGuard(kind="input", msg_type=TYPE_NUM, capacity=4)
+        while (yield from self.csp.alternative(api, [take])) is None:
+            yield api.compute(2_000)
+        (value,) = struct.unpack(">i", take.received)
+        give = CspGuard(
+            kind="output", msg_type=TYPE_NUM,
+            peer=api.server_sig(2, NAME[2]),
+            value=struct.pack(">i", value * 2),
+        )
+        while (yield from self.csp.alternative(api, [give])) is None:
+            yield api.compute(2_000)
+        print(f"[{api.now/1000:8.2f} ms] doubler:  {value} -> {value * 2}")
+
+
+def printer(api, self):
+    got = []
+    while len(got) < 4:
+        take = CspGuard(kind="input", msg_type=TYPE_NUM, capacity=4)
+        if (yield from self.csp.alternative(api, [take])) is None:
+            yield api.compute(2_000)
+            continue
+        (value,) = struct.unpack(">i", take.received)
+        got.append(value)
+        print(f"[{api.now/1000:8.2f} ms] printer:  got {value}")
+    print(f"\npipeline delivered: {got}")
+    assert got == [6, 14, 22, 50]
+
+
+def main() -> None:
+    net = Network(seed=23)
+    net.add_node(program=Stage(0, producer))
+    net.add_node(program=Stage(1, doubler), boot_at_us=50.0)
+    net.add_node(program=Stage(2, printer), boot_at_us=100.0)
+    net.run(until=120_000_000.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The readers-writers moderator (§4.4.4) under mixed load.
+
+Five clients hammer a moderated resource with random reads and writes;
+the run prints the grant schedule and verifies the exclusion invariant
+and the paper's fairness rules on the way.
+
+Run:  python examples/readers_writers.py
+"""
+
+import random
+
+from repro.apps.readers_writers import Moderator, ReaderWriterClient
+from repro.core import Network
+
+
+def main() -> None:
+    rng = random.Random(3)
+    net = Network(seed=17)
+    moderator = Moderator()
+    net.add_node(program=moderator, name="moderator")
+
+    shared = {"readers": 0, "writers": 0, "violations": []}
+    clients = []
+    for i in range(5):
+        script = []
+        for _ in range(5):
+            kind = "read" if rng.random() < 0.65 else "write"
+            script.append(
+                (kind, rng.uniform(2_000, 10_000), rng.uniform(0, 6_000))
+            )
+        client = ReaderWriterClient(0, script, shared)
+        clients.append(client)
+        net.add_node(program=client, name=f"client{i}", boot_at_us=100.0 + 41.0 * i)
+
+    net.run(until=600_000_000.0)
+
+    print("grant schedule:", "".join(moderator.grants))
+    print(f"operations completed: {sum(c.completed_ops for c in clients)}/25")
+    print(f"max concurrent readers: {moderator.max_concurrent_readers}")
+    print(f"invariant violations: {len(shared['violations'])}")
+    assert shared["violations"] == []
+    assert moderator.readcount == 0 and moderator.writecount == 0
+    print("exclusion invariant held throughout.")
+
+
+if __name__ == "__main__":
+    main()

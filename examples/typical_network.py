@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""The "Typical SODA Network" figure (§1.3) brought to life.
+
+One bus carrying:
+
+* a **file server** (the figure's VAX-750 with a disk);
+* a **time server** (VAX-750 with a clock);
+* a **tty driver** buffering lines typed at a terminal;
+* a bare PDP-11 waiting to be booted;
+* a **command interpreter** that boots a **worker** onto the bare node,
+  then drives a session: read a command from the tty, run it via RPC on
+  the worker with a timeout alarm armed, and log the result to a file.
+
+Run:  python examples/typical_network.py
+"""
+
+from repro.apps.file_server import FILESERVER_PATTERN, FileServer, RemoteFile
+from repro.core import Buffer, ClientProgram, Network
+from repro.core.boot import ProgramImage, boot_pattern_for
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.ports import port_write
+from repro.facilities.rpc import RpcServer, rpc_call
+from repro.facilities.timeservice import ALARM_CLOCK, TimeServer, set_alarm
+from repro.sodal.queueing import Queue
+
+TTY_PORT = make_well_known_pattern(0o701)
+EVAL_PROC = make_well_known_pattern(0o702)
+
+
+def log(api, who: str, message: str) -> None:
+    print(f"[{api.now/1000:9.2f} ms] {who}: {message}")
+
+
+class LineTty(ClientProgram):
+    """Tty driver: buffers lines from the terminal; readers B_GET them."""
+
+    def __init__(self):
+        self.lines = Queue(16)
+        self.waiting_readers = Queue(8)
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(TTY_PORT)
+        log(api, "tty", "up")
+
+    def handler(self, api, event):
+        if not event.is_arrival:
+            return
+        if event.put_size > 0:
+            # A write from the terminal side.
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_put(get=buf)
+            yield from api.enqueue(self.lines, buf.data)
+        else:
+            # A read (GET): serve once a line is available.
+            yield from api.enqueue(self.waiting_readers, event.asker)
+
+    def task(self, api):
+        while True:
+            yield from api.poll(
+                lambda: not self.lines.is_empty()
+                and not self.waiting_readers.is_empty()
+            )
+            line = yield from api.dequeue(self.lines)
+            reader = yield from api.dequeue(self.waiting_readers)
+            yield from api.accept_get(reader, put=line)
+
+
+class Terminal(ClientProgram):
+    """A stand-in for the human at the keyboard."""
+
+    def __init__(self, tty_mid: int, lines):
+        self.tty_mid = tty_mid
+        self.lines = lines
+
+    def task(self, api):
+        yield api.compute(30_000)
+        for line in self.lines:
+            yield api.compute(25_000)  # typing takes a while
+            yield from port_write(
+                api, api.server_sig(self.tty_mid, TTY_PORT), line
+            )
+            log(api, "terminal", f"typed {line!r}")
+        yield from api.serve_forever()
+
+
+class Worker(RpcServer):
+    """The program booted onto the bare node: evaluates 'sum 1..N'."""
+
+    def __init__(self):
+        super().__init__({EVAL_PROC: self._evaluate})
+
+    @staticmethod
+    def _evaluate(params: bytes) -> bytes:
+        n = int(params.decode().split("..")[1])
+        return str(sum(range(1, n + 1))).encode()
+
+
+class CommandInterpreter(ClientProgram):
+    """Boots the worker, then: read command -> RPC -> log to file."""
+
+    def __init__(self, tty_mid: int):
+        self.tty_mid = tty_mid
+        self.alarm_tid = None
+
+    def handler(self, api, event):
+        if event.is_completion and event.asker.tid == self.alarm_tid:
+            log(api, "shell", "(alarm expired -- would CANCEL a stuck call)")
+        return
+        yield  # pragma: no cover
+
+    def task(self, api):
+        fs = yield from api.discover(FILESERVER_PATTERN)
+        ts = yield from api.discover(ALARM_CLOCK)
+        log(api, "shell", f"found file server at MID {fs.mid}, clock at {ts.mid}")
+
+        bare = yield from api.discover(boot_pattern_for("pdp11"))
+        image = ProgramImage("worker", Worker, size_bytes=4096)
+        load_sig = yield from api.boot_node(bare, image)
+        log(api, "shell", f"booted worker on MID {bare.mid}")
+
+        logfile = yield from RemoteFile.open(api, fs.mid, "session.log")
+        while True:
+            buf = Buffer(128)
+            completion = yield from api.b_get(
+                api.server_sig(self.tty_mid, TTY_PORT), get=buf
+            )
+            if not completion.completed:
+                continue
+            command = buf.data
+            log(api, "shell", f"command: {command!r}")
+            if command == b"halt":
+                break
+            # Guard the remote call with an alarm (§4.3.2's timeout idiom).
+            self.alarm_tid = yield from set_alarm(api, ts, delay_ms=500)
+            result = yield from rpc_call(
+                api, api.server_sig(bare.mid, EVAL_PROC), command, 64
+            )
+            log(api, "shell", f"worker answered: {result.decode()}")
+            yield from logfile.write(command + b" -> " + result + b"\n")
+
+        yield from api.b_signal(load_sig)  # second SIGNAL kills the worker
+        log(api, "shell", "worker killed")
+        yield from logfile.seek(0)
+        session = yield from logfile.read(512)
+        yield from logfile.close()
+        log(api, "shell", "session log:")
+        for line in session.decode().splitlines():
+            print(f"               | {line}")
+        yield from api.serve_forever()
+
+
+def main() -> None:
+    net = Network(seed=11)
+    net.add_node(program=FileServer(), name="file-server", machine_type="vax750")
+    net.add_node(program=TimeServer(), name="time-server", machine_type="vax750")
+    tty_node = net.add_node(program=LineTty(), name="tty", machine_type="pdp11tty")
+    net.add_node(name="bare-pdp11", machine_type="pdp11")  # bootable
+    net.add_node(
+        program=CommandInterpreter(tty_mid=tty_node.mid),
+        name="shell",
+        machine_type="m68000",
+        boot_at_us=200.0,
+    )
+    net.add_node(
+        program=Terminal(tty_node.mid, [b"sum 1..100", b"sum 1..1000", b"halt"]),
+        name="terminal",
+        boot_at_us=400.0,
+    )
+    net.run(until=120_000_000.0)
+    print(f"\ndone at t={net.now/1000:.2f} ms; {net.bus.frames_sent} frames")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Command-line entry point: quick demos and table regeneration.
+
+    python -m repro quickstart        # two-node echo session
+    python -m repro tables [--quick]  # the paper's performance tables
+    python -m repro breakdown         # overhead-breakdown table
+    python -m repro comparison        # SODA vs *MOD
+    python -m repro deltat            # Delta-t figure scenarios
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _quickstart() -> None:
+    from repro import Buffer, ClientProgram, Network, make_well_known_pattern
+
+    ECHO = make_well_known_pattern(0o346)
+
+    class Server(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(ECHO)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                buf = Buffer(event.put_size)
+                yield from api.accept_current_exchange(get=buf, put=b"pong")
+                print(f"  server accepted {buf.data!r}")
+
+    class Client(ClientProgram):
+        def task(self, api):
+            server = yield from api.discover(ECHO)
+            reply = Buffer(16)
+            completion = yield from api.b_exchange(server, put=b"ping", get=reply)
+            print(
+                f"  client exchange: {completion.status.value}, "
+                f"reply {reply.data!r} at t={api.now/1000:.2f} ms"
+            )
+
+    net = Network(seed=7)
+    net.add_node(program=Server())
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=2_000_000.0)
+    print(f"  {net.bus.frames_sent} frames on the bus")
+
+
+def _tables(quick: bool) -> None:
+    from repro.bench import (
+        WORD_SIZES,
+        format_table,
+        generate_performance_table,
+    )
+
+    sizes = [0, 1, 100, 500, 1000] if quick else WORD_SIZES
+    for verb in ("put", "get", "exchange"):
+        for pipelined in (False, True):
+            rows = generate_performance_table(verb, pipelined, sizes=sizes)
+            tag = "pipelined" if pipelined else "non-pipelined"
+            print(
+                format_table(
+                    ["words", "measured ms", "paper ms", "packets"],
+                    [(r.words, r.measured_ms, r.paper_ms, r.packets) for r in rows],
+                    title=f"{verb.upper()} ({tag})",
+                )
+            )
+            print()
+
+
+def _breakdown() -> None:
+    from repro.bench import format_table, measure_signal_breakdown
+
+    result = measure_signal_breakdown()
+    rows = [
+        (name, result.measured_ms[name], result.paper_ms[name])
+        for name in result.paper_ms
+    ]
+    rows.append(("TOTAL", result.total_measured_ms, result.total_paper_ms))
+    print(
+        format_table(
+            ["category", "measured ms", "paper ms"], rows,
+            title="Breakdown of protocol time (2-packet SIGNAL)",
+        )
+    )
+    print(f"elapsed B_SIGNAL: {result.elapsed_call_ms:.2f} ms")
+
+
+def _comparison() -> None:
+    from repro.bench import format_table, measure_comparison
+
+    rows = measure_comparison()
+    print(
+        format_table(
+            ["scenario", "measured ms", "paper ms"],
+            [(r.scenario, r.measured_ms, r.paper_ms) for r in rows],
+            title="SODA vs *MOD",
+        )
+    )
+
+
+def _deltat() -> None:
+    from repro.bench import deltat_scenarios
+
+    for scenario in deltat_scenarios().values():
+        print(f"{scenario.name} [{'ok' if scenario.ok else 'FAILED'}]")
+        for t_ms, event in scenario.events:
+            print(f"    t={t_ms:9.1f} ms  {event}")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command = argv[0] if argv else "quickstart"
+    if command == "quickstart":
+        _quickstart()
+    elif command == "tables":
+        _tables(quick="--quick" in argv)
+    elif command == "breakdown":
+        _breakdown()
+    elif command == "comparison":
+        _comparison()
+    elif command == "deltat":
+        _deltat()
+    else:
+        print(__doc__)
+        return 1 if command not in ("-h", "--help", "help") else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,202 @@
+"""A file service (§4.4.5).
+
+A client locates the file server with DISCOVER, opens a file by
+EXCHANGEing its name against the well-known OPEN pattern (receiving a
+freshly-minted *file-descriptor pattern*), and then performs SEEK / READ
+/ WRITE / CLOSE as EXCHANGEs against that fd pattern.  The handler only
+queues operations; the task performs them — the paper's own structure.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.errors import AcceptStatus, RequestStatus, SodaError
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import RequesterSignature, ServerSignature
+from repro.sodal.queueing import Queue
+
+FILESERVER_PATTERN: Pattern = make_well_known_pattern(0o440)
+OPEN_PATTERN: Pattern = make_well_known_pattern(0o441)
+
+#: Operation codes carried in the REQUEST argument ("kind", §4.4.5).
+OP_CLOSE = 1
+OP_SEEK = 2
+OP_READ = 3
+OP_WRITE = 4
+
+#: Error indicator returned in the ACCEPT argument (negative = error).
+ERR_BAD_FD = -2
+ERR_BAD_OP = -3
+
+
+@dataclass
+class _OpenFile:
+    name: str
+    position: int = 0
+
+
+@dataclass
+class _FileOperation:
+    """The paper's FILE_OPERATION record."""
+
+    client: RequesterSignature
+    operation: int
+    fd_pattern: Pattern
+    put_size: int
+    get_size: int
+
+
+class FileServer(ClientProgram):
+    """An in-memory file server."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None, op_queue: int = 16):
+        self.files: Dict[str, bytearray] = {
+            name: bytearray(data) for name, data in (files or {}).items()
+        }
+        self.op_queue_size = op_queue
+        self.open_files: Dict[Pattern, _OpenFile] = {}
+        self.ops_performed = 0
+
+    def initialization(self, api, parent_mid):
+        self.op_queue: Queue[_FileOperation] = Queue(self.op_queue_size)
+        yield from api.advertise(FILESERVER_PATTERN)
+        yield from api.advertise(OPEN_PATTERN)
+
+    def handler(self, api, event):
+        if not event.is_arrival:
+            return
+        if event.pattern == OPEN_PATTERN:
+            yield from self._handle_open(api, event)
+        elif event.pattern in self.open_files:
+            yield from api.enqueue(
+                self.op_queue,
+                _FileOperation(
+                    client=event.asker,
+                    operation=event.arg,
+                    fd_pattern=event.pattern,
+                    put_size=event.put_size,
+                    get_size=event.get_size,
+                ),
+            )
+        # FILESERVER_PATTERN requests carry no operation; used only for
+        # DISCOVER, which the kernel answers without client involvement.
+
+    def _handle_open(self, api, event) -> Generator:
+        fd_pattern = yield from api.getuniqueid()
+        yield from api.advertise(fd_pattern)
+        name_buf = Buffer(event.put_size)
+        status = yield from api.accept_current_exchange(
+            get=name_buf, put=int(fd_pattern).to_bytes(6, "big")
+        )
+        if status is not AcceptStatus.SUCCESS:
+            yield from api.unadvertise(fd_pattern)
+            return
+        name = name_buf.data.decode("utf-8", errors="replace")
+        if name not in self.files:
+            self.files[name] = bytearray()
+        self.open_files[fd_pattern] = _OpenFile(name=name)
+        # "File opening errors are detected upon the first use" (§4.4.5).
+
+    def task(self, api):
+        while True:
+            yield from api.poll(lambda: not self.op_queue.is_empty())
+            op = yield from api.dequeue(self.op_queue)
+            yield from self._perform(api, op)
+            self.ops_performed += 1
+
+    def _perform(self, api, op: _FileOperation) -> Generator:
+        open_file = self.open_files.get(op.fd_pattern)
+        if open_file is None:
+            yield from api.accept(op.client, arg=ERR_BAD_FD)
+            return
+        data = self.files[open_file.name]
+        if op.operation == OP_READ:
+            chunk = bytes(data[open_file.position : open_file.position + op.get_size])
+            open_file.position += len(chunk)
+            yield from api.accept_get(op.client, arg=len(chunk), put=chunk)
+        elif op.operation == OP_WRITE:
+            buf = Buffer(op.put_size)
+            status = yield from api.accept_put(op.client, arg=op.put_size, get=buf)
+            if status is AcceptStatus.SUCCESS:
+                pos = open_file.position
+                data[pos : pos + len(buf.data)] = buf.data
+                open_file.position += len(buf.data)
+        elif op.operation == OP_SEEK:
+            buf = Buffer(op.put_size)
+            status = yield from api.accept_put(op.client, arg=0, get=buf)
+            if status is AcceptStatus.SUCCESS and len(buf.data) >= 4:
+                open_file.position = struct.unpack(">I", buf.data[:4])[0]
+        elif op.operation == OP_CLOSE:
+            yield from api.accept(op.client, arg=0)
+            yield from api.unadvertise(op.fd_pattern)
+            del self.open_files[op.fd_pattern]
+        else:
+            yield from api.accept(op.client, arg=ERR_BAD_OP)
+
+
+class RemoteFile:
+    """Client-side handle following the paper's protocol."""
+
+    def __init__(self, api, server: ServerSignature, fd_pattern: Pattern):
+        self.api = api
+        self.server_mid = server.mid
+        self.fd_pattern = fd_pattern
+        self.closed = False
+
+    @classmethod
+    def open(cls, api, fs_mid: int, name: str) -> Generator:
+        """EXCHANGE the name for a file-descriptor pattern."""
+        fd_buf = Buffer(6)
+        completion = yield from api.b_exchange(
+            ServerSignature(fs_mid, OPEN_PATTERN), put=name, get=fd_buf
+        )
+        if completion.status is not RequestStatus.COMPLETED or len(fd_buf.data) < 6:
+            raise SodaError(f"open({name!r}) failed: {completion.status.value}")
+        fd_pattern = int.from_bytes(fd_buf.data, "big")
+        return cls(api, ServerSignature(fs_mid, OPEN_PATTERN), fd_pattern)
+
+    def _sig(self) -> ServerSignature:
+        return ServerSignature(self.server_mid, self.fd_pattern)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SodaError("file is closed")
+
+    def read(self, nbytes: int) -> Generator:
+        self._check_open()
+        buf = Buffer(nbytes)
+        completion = yield from self.api.b_exchange(
+            self._sig(), arg=OP_READ, get=buf
+        )
+        if completion.status is not RequestStatus.COMPLETED or completion.arg < 0:
+            raise SodaError(f"read failed: {completion.status.value}/{completion.arg}")
+        return buf.data
+
+    def write(self, data) -> Generator:
+        self._check_open()
+        completion = yield from self.api.b_exchange(
+            self._sig(), arg=OP_WRITE, put=data
+        )
+        if completion.status is not RequestStatus.COMPLETED or completion.arg < 0:
+            raise SodaError(f"write failed: {completion.status.value}/{completion.arg}")
+        return completion.taken_put
+
+    def seek(self, position: int) -> Generator:
+        self._check_open()
+        completion = yield from self.api.b_exchange(
+            self._sig(), arg=OP_SEEK, put=struct.pack(">I", position)
+        )
+        if completion.status is not RequestStatus.COMPLETED or completion.arg < 0:
+            raise SodaError(f"seek failed: {completion.status.value}/{completion.arg}")
+
+    def close(self) -> Generator:
+        self._check_open()
+        completion = yield from self.api.b_exchange(self._sig(), arg=OP_CLOSE)
+        self.closed = True
+        if completion.status is not RequestStatus.COMPLETED:
+            raise SodaError(f"close failed: {completion.status.value}")

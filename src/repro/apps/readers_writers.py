@@ -1,0 +1,168 @@
+"""Concurrent readers and writers (§4.4.4).
+
+A *moderator* process grants READ/WRITE access to a database with the
+paper's fairness rule: while a write request is pending no new read
+requests are honored, and when a write finishes, the readers that
+accumulated during it are all honored before any new write begins.
+
+Clients call START_READ / END_READ / START_WRITE / END_WRITE as blocking
+SIGNALs; the moderator ACCEPTs a START only when access is safe (the
+two-phase REQUEST/ACCEPT split is exactly the scheduling freedom §6.7
+advertises).
+
+Note: the paper's pseudocode contains three evident typos (START_READ
+enqueues on WriteQueue, a granted START_WRITE never increments
+writecount, END_READ increments readcount when granting a writer); this
+implementation is the intended algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.core.client import ClientProgram
+from repro.core.errors import RequestStatus, SodaError
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import ServerSignature
+from repro.sodal.queueing import Queue
+
+START_READ: Pattern = make_well_known_pattern(0o450)
+END_READ: Pattern = make_well_known_pattern(0o451)
+START_WRITE: Pattern = make_well_known_pattern(0o452)
+END_WRITE: Pattern = make_well_known_pattern(0o453)
+
+
+class Moderator(ClientProgram):
+    """The concurrency-control service; all work happens in the handler."""
+
+    def __init__(self, queue_size: int = 16) -> None:
+        self.queue_size = queue_size
+        self.readcount = 0
+        self.writecount = 0
+        self.max_concurrent_readers = 0
+        self.grants: List[str] = []
+
+    def initialization(self, api, parent_mid):
+        self.read_queue = Queue(self.queue_size)
+        self.write_queue = Queue(self.queue_size)
+        for pattern in (START_READ, END_READ, START_WRITE, END_WRITE):
+            yield from api.advertise(pattern)
+
+    def handler(self, api, event):
+        if not event.is_arrival:
+            return
+        if event.pattern == START_READ:
+            if self.write_queue.is_empty() and self.writecount == 0:
+                yield from api.accept_current_signal()
+                self._note_read_granted()
+            else:
+                yield from api.enqueue(self.read_queue, event.asker)
+        elif event.pattern == START_WRITE:
+            if self.readcount == 0 and self.writecount == 0:
+                yield from api.accept_current_signal()
+                self._note_write_granted()
+            else:
+                yield from api.enqueue(self.write_queue, event.asker)
+        elif event.pattern == END_READ:
+            yield from api.accept_current_signal()
+            self.readcount -= 1
+            if self.readcount == 0 and not self.write_queue.is_empty():
+                asker = yield from api.dequeue(self.write_queue)
+                yield from api.accept_signal(asker)
+                self._note_write_granted()
+        elif event.pattern == END_WRITE:
+            yield from api.accept_current_signal()
+            self.writecount -= 1
+            if not self.read_queue.is_empty():
+                # Honor every reader that accumulated during the write.
+                while not self.read_queue.is_empty():
+                    asker = yield from api.dequeue(self.read_queue)
+                    yield from api.accept_signal(asker)
+                    self._note_read_granted()
+            elif not self.write_queue.is_empty():
+                asker = yield from api.dequeue(self.write_queue)
+                yield from api.accept_signal(asker)
+                self._note_write_granted()
+
+    def _note_read_granted(self) -> None:
+        self.readcount += 1
+        self.grants.append("r")
+        self.max_concurrent_readers = max(self.max_concurrent_readers, self.readcount)
+
+    def _note_write_granted(self) -> None:
+        self.writecount += 1
+        self.grants.append("w")
+
+
+def _moderated(api, moderator_mid: int, pattern: Pattern) -> Generator:
+    for _attempt in range(50):
+        completion = yield from api.b_signal(
+            ServerSignature(moderator_mid, pattern)
+        )
+        if completion.status is RequestStatus.COMPLETED:
+            return
+        if completion.status is RequestStatus.UNADVERTISED:
+            # The moderator may still be booting; try again shortly.
+            yield api.compute(5_000)
+            continue
+        break
+    raise SodaError(f"moderator call failed: {completion.status.value}")
+
+
+def rw_start_read(api, moderator_mid: int) -> Generator:
+    yield from _moderated(api, moderator_mid, START_READ)
+
+
+def rw_end_read(api, moderator_mid: int) -> Generator:
+    yield from _moderated(api, moderator_mid, END_READ)
+
+
+def rw_start_write(api, moderator_mid: int) -> Generator:
+    yield from _moderated(api, moderator_mid, START_WRITE)
+
+
+def rw_end_write(api, moderator_mid: int) -> Generator:
+    yield from _moderated(api, moderator_mid, END_WRITE)
+
+
+class ReaderWriterClient(ClientProgram):
+    """A test/demo client doing a scripted sequence of reads and writes.
+
+    ``script`` is a list of ("read"|"write", hold_us, pre_delay_us).
+    The shared-state invariant is checked against ``shared``: a dict
+    with keys ``readers`` and ``writers`` mutated under the moderator's
+    protection; violations are recorded in ``shared["violations"]``.
+    """
+
+    def __init__(self, moderator_mid: int, script, shared) -> None:
+        self.moderator_mid = moderator_mid
+        self.script = script
+        self.shared = shared
+        self.completed_ops = 0
+
+    def task(self, api):
+        for kind, hold_us, pre_delay_us in self.script:
+            if pre_delay_us:
+                yield api.compute(pre_delay_us)
+            if kind == "read":
+                yield from rw_start_read(api, self.moderator_mid)
+                self.shared["readers"] += 1
+                self._check()
+                yield api.compute(hold_us)
+                self.shared["readers"] -= 1
+                yield from rw_end_read(api, self.moderator_mid)
+            else:
+                yield from rw_start_write(api, self.moderator_mid)
+                self.shared["writers"] += 1
+                self._check()
+                yield api.compute(hold_us)
+                self.shared["writers"] -= 1
+                yield from rw_end_write(api, self.moderator_mid)
+            self.completed_ops += 1
+        yield from api.serve_forever()
+
+    def _check(self) -> None:
+        readers = self.shared["readers"]
+        writers = self.shared["writers"]
+        if writers > 1 or (writers >= 1 and readers >= 1):
+            self.shared["violations"].append((readers, writers))

@@ -1,0 +1,233 @@
+"""A \\*MOD-style port-based message runtime (the §5.5 baseline).
+
+\\*MOD (LeBlanc) is a distributed programming language whose non-local
+processes communicate via **ports** with kernel-side message buffering;
+ports offer either asynchronous sends or extended-rendezvous (remote
+port call) semantics.  On the same PDP-11/Megalink hardware as SODA, its
+synchronous remote port call cost 20.7 ms and its asynchronous port call
+11.1 ms.
+
+Why it is slower than SODA — and what this model reproduces:
+
+* **kernel buffering**: every message is copied into a kernel queue at
+  the receiver and out again when a process receives it (two extra
+  copies and queue management on the critical path; SODA is bufferless);
+* **process scheduling**: the receiving *process* must be scheduled to
+  pick the message up — a language-level scheduler wakeup on each hop,
+  where SODA jumps straight into the client handler;
+* **a heavier protocol stack**: the language runtime, OS layer, and
+  transport are separate modules, roughly doubling per-packet software
+  cost (§6.17.3's layering observation).
+
+The wire protocol is deliberately simple and reliable: every message is
+individually acknowledged (no piggybacking — \\*MOD predates SODA's
+aggressive piggyback strategy), so a sync call costs 4 packets
+(CALL, ACK, REPLY, ACK) and an async send 2 (MSG, ACK).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, Optional, Tuple
+
+from repro.net.frame import Frame
+from repro.net.medium import BroadcastBus
+from repro.net.nic import NetworkInterface
+from repro.sim.engine import Simulator
+from repro.sim.process import SimFuture
+
+
+@dataclass(frozen=True)
+class StarModConfig:
+    """Cost model, in microseconds.
+
+    Calibrated so that on the default 1 Mbit/s bus a one-word synchronous
+    remote port call lands near the published 20.7 ms and an
+    asynchronous port call near 11.1 ms.
+    """
+
+    #: Per-packet software cost on each side (runtime + OS + transport
+    #: layers); roughly 2x SODA's 1.1 ms of send-side kernel work.
+    protocol_us: float = 2_300.0
+    #: Copying a message into/out of the kernel buffer pool, per byte,
+    #: plus fixed queue management.
+    copy_byte_us: float = 6.0
+    buffer_mgmt_us: float = 450.0
+    #: Scheduler wakeup to run the receiving process.
+    wakeup_us: float = 900.0
+    #: Caller-side call overhead (stub, marshalling, trap).
+    call_overhead_us: float = 1_200.0
+    #: Acknowledgement timeout for the stop-and-wait reliability.
+    ack_timeout_us: float = 30_000.0
+
+
+@dataclass
+class _Message:
+    kind: str  # "call" | "reply" | "async" | "ack"
+    port: str = ""
+    data: bytes = b""
+    msg_id: int = 0
+    ack_of: int = 0
+
+
+_msg_ids = itertools.count(1)
+
+
+class StarModNode:
+    """One \\*MOD machine: a kernel with ports plus one server process."""
+
+    def __init__(
+        self, sim: Simulator, bus: BroadcastBus, mid: int,
+        config: Optional[StarModConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or StarModConfig()
+        self.nic = NetworkInterface(bus, mid)
+        self.nic.on_frame = self._on_frame
+        self.mid = mid
+        #: port name -> queue of (src, data, msg_id or None-for-async)
+        self.ports: Dict[str, Deque[Tuple[int, bytes, Optional[int]]]] = {}
+        #: port name -> handler fn(data) -> reply bytes (sync ports)
+        self._handlers: Dict[str, Callable[[bytes], bytes]] = {}
+        self._port_waiters: Dict[str, SimFuture] = {}
+        self._pending_acks: Dict[int, Any] = {}
+        self._ack_futures: Dict[int, SimFuture] = {}
+        self._pending_replies: Dict[int, SimFuture] = {}
+        self._busy_until = 0.0
+        self.packets_sent = 0
+
+    # -- kernel work ------------------------------------------------------
+
+    def _work(self, us: float, fn=None, *args) -> float:
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + us
+        if fn is not None:
+            self.sim.at(self._busy_until, fn, *args)
+        return self._busy_until
+
+    def _send(self, dst: int, message: _Message) -> None:
+        cfg = self.config
+        cost = cfg.protocol_us
+        if message.kind != "ack":
+            cost += cfg.copy_byte_us * len(message.data) + cfg.buffer_mgmt_us
+        self._work(cost, self._put_on_wire, dst, message)
+
+    def _put_on_wire(self, dst: int, message: _Message) -> None:
+        self.packets_sent += 1
+        self.nic.send(dst, message, payload_bytes=len(message.data))
+        if message.kind != "ack":
+            timer = self.sim.schedule(
+                self.config.ack_timeout_us, self._retransmit, dst, message
+            )
+            self._pending_acks[message.msg_id] = timer
+
+    def _retransmit(self, dst: int, message: _Message) -> None:
+        if message.msg_id in self._pending_acks:
+            self._put_on_wire(dst, message)
+
+    # -- receive path -----------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        message: _Message = frame.payload
+        cfg = self.config
+        cost = cfg.protocol_us
+        if message.kind != "ack":
+            cost += cfg.copy_byte_us * len(message.data) + cfg.buffer_mgmt_us
+        self._work(cost, self._dispatch, frame.src, message)
+
+    def _dispatch(self, src: int, message: _Message) -> None:
+        if message.kind == "ack":
+            timer = self._pending_acks.pop(message.ack_of, None)
+            if timer is not None:
+                timer.cancel()
+            future = self._ack_futures.pop(message.ack_of, None)
+            if future is not None:
+                future.resolve(None)
+            return
+        # Reliable receipt: acknowledge everything else.
+        self._send(src, _Message(kind="ack", ack_of=message.msg_id))
+        if message.kind == "reply":
+            future = self._pending_replies.pop(message.msg_id, None)
+            if future is not None:
+                # The caller process must be rescheduled to continue.
+                self._work(self.config.wakeup_us, future.resolve, message.data)
+            return
+        # call/async: enqueue on the port; wake the receiving process.
+        queue = self.ports.setdefault(message.port, deque())
+        msg_id = message.msg_id if message.kind == "call" else None
+        queue.append((src, message.data, msg_id))
+        waiter = self._port_waiters.pop(message.port, None)
+        if waiter is not None:
+            self._work(self.config.wakeup_us, waiter.resolve, None)
+
+    # -- process-level API ---------------------------------------------------
+
+    def serve_port(self, port: str, handler: Callable[[bytes], bytes]) -> None:
+        """Run a server process that answers calls on ``port``."""
+        self._handlers[port] = handler
+        self.sim.spawn(self._server_loop(port), name=f"starmod{self.mid}.{port}")
+
+    def _server_loop(self, port: str) -> Generator:
+        queue = self.ports.setdefault(port, deque())
+        while True:
+            if not queue:
+                future = self.sim.new_future()
+                self._port_waiters[port] = future
+                yield future
+            src, data, msg_id = queue.popleft()
+            # Copy out of the kernel buffer into the process.
+            yield self.config.copy_byte_us * len(data) + self.config.buffer_mgmt_us
+            reply = self._handlers[port](data)
+            if msg_id is not None:
+                self._send(src, _Message(kind="reply", data=reply, msg_id=msg_id))
+                # The reply's retransmission bookkeeping ties up the
+                # server briefly (no piggybacking in this runtime).
+                yield self.config.protocol_us / 2
+
+    def sync_call(self, dst: int, port: str, data: bytes) -> Generator:
+        """Synchronous remote port call (extended rendezvous)."""
+        yield self.config.call_overhead_us
+        message = _Message(kind="call", port=port, data=data, msg_id=next(_msg_ids))
+        future = self.sim.new_future()
+        self._pending_replies[message.msg_id] = future
+        self._send(dst, message)
+        reply = yield future
+        yield self.config.call_overhead_us / 2  # unmarshal
+        return reply
+
+    def async_send(self, dst: int, port: str, data: bytes) -> Generator:
+        """Asynchronous port call.
+
+        Asynchronous with respect to the *server process* (no
+        rendezvous), but the call returns only when the remote kernel
+        acknowledges that the message is safely buffered — \\*MOD's
+        kernels have finite buffer pools and cannot fire-and-forget.
+        """
+        yield self.config.call_overhead_us
+        message = _Message(kind="async", port=port, data=data, msg_id=next(_msg_ids))
+        future = self.sim.new_future()
+        self._ack_futures[message.msg_id] = future
+        self._send(dst, message)
+        yield future
+        return message.msg_id
+
+
+class StarModNetwork:
+    """Convenience: a simulator + bus + N \\*MOD nodes."""
+
+    def __init__(
+        self, n_nodes: int = 2, seed: int = 0,
+        config: Optional[StarModConfig] = None,
+        bandwidth_bps: int = 1_000_000,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.bus = BroadcastBus(self.sim, bandwidth_bps=bandwidth_bps)
+        self.nodes = [
+            StarModNode(self.sim, self.bus, mid, config=config)
+            for mid in range(n_nodes)
+        ]
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)

@@ -1,0 +1,111 @@
+"""The \\*MOD comparison of §5.5: C1-C2.
+
+Four SODA measurements against two \\*MOD measurements, all on the same
+simulated PDP-11/Megalink hardware:
+
+==============================  =========  =================
+scenario                        paper ms   semantically like
+==============================  =========  =================
+B_SIGNAL, accept in handler        8.5
+B_SIGNAL, queued accept           10.0      \\*MOD sync port call (20.7)
+SIGNAL stream, accept in handler   4.9
+SIGNAL stream, queued accept       5.8      \\*MOD async port call (11.1)
+==============================  =========  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.starmod import StarModNetwork
+from repro.bench.workloads import run_blocking_signals, run_stream
+
+
+@dataclass
+class ComparisonRow:
+    scenario: str
+    measured_ms: float
+    paper_ms: float
+
+
+PAPER_COMPARISON_MS = {
+    "soda_b_signal": 8.5,
+    "soda_b_signal_queued": 10.0,
+    "soda_signal_stream": 4.9,
+    "soda_signal_stream_queued": 5.8,
+    "starmod_sync_call": 20.7,
+    "starmod_async_send": 11.1,
+}
+
+
+def _starmod_sync(seed: int) -> float:
+    net = StarModNetwork(2, seed=seed)
+    server, client = net.nodes
+    server.serve_port("p", lambda data: b"ok")
+    times: List[float] = []
+
+    def body():
+        for _ in range(6):
+            t0 = net.sim.now
+            yield from client.sync_call(0, "p", b"\x01\x02")
+            times.append(net.sim.now - t0)
+
+    net.sim.spawn(body())
+    net.run(until=60_000_000.0)
+    steady = times[1:]
+    return sum(steady) / len(steady) / 1000.0
+
+
+def _starmod_async(seed: int) -> float:
+    net = StarModNetwork(2, seed=seed)
+    server, client = net.nodes
+    server.serve_port("p", lambda data: b"")
+    marks: List[float] = []
+
+    def body():
+        for _ in range(8):
+            yield from client.async_send(0, "p", b"\x01\x02")
+            marks.append(net.sim.now)
+
+    net.sim.spawn(body())
+    net.run(until=60_000_000.0)
+    deltas = [b - a for a, b in zip(marks, marks[1:])]
+    return sum(deltas) / len(deltas) / 1000.0
+
+
+def measure_comparison(seed: int = 5) -> List[ComparisonRow]:
+    """All six rows of the §5.5 comparison."""
+    rows = [
+        ComparisonRow(
+            "soda_b_signal",
+            run_blocking_signals(seed=seed).per_txn_ms,
+            PAPER_COMPARISON_MS["soda_b_signal"],
+        ),
+        ComparisonRow(
+            "soda_b_signal_queued",
+            run_blocking_signals(queued_accept=True, seed=seed).per_txn_ms,
+            PAPER_COMPARISON_MS["soda_b_signal_queued"],
+        ),
+        ComparisonRow(
+            "soda_signal_stream",
+            run_stream(0, 0, seed=seed).per_txn_ms,
+            PAPER_COMPARISON_MS["soda_signal_stream"],
+        ),
+        ComparisonRow(
+            "soda_signal_stream_queued",
+            run_stream(0, 0, queued_accept=True, seed=seed).per_txn_ms,
+            PAPER_COMPARISON_MS["soda_signal_stream_queued"],
+        ),
+        ComparisonRow(
+            "starmod_sync_call",
+            _starmod_sync(seed),
+            PAPER_COMPARISON_MS["starmod_sync_call"],
+        ),
+        ComparisonRow(
+            "starmod_async_send",
+            _starmod_async(seed),
+            PAPER_COMPARISON_MS["starmod_async_send"],
+        ),
+    ]
+    return rows

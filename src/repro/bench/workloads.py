@@ -1,0 +1,210 @@
+"""Measurement workloads (§5.5).
+
+The paper's numbers come from streams of requests between one requester
+and one server on otherwise-idle hardware:
+
+* the **server** ACCEPTs each arrival either immediately in its handler
+  or — in the "queued" variants — from a task polling a queue of
+  requester signatures (the port pattern of §4.2.1);
+* the **streaming requester** keeps MAXREQUESTS non-blocking REQUESTs
+  outstanding, reissuing from its completion handler;
+* the **blocking requester** issues B_SIGNALs one at a time and measures
+  each call's elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.config import KernelConfig
+from repro.core.node import Network
+from repro.core.patterns import make_well_known_pattern
+from repro.sodal.queueing import Queue
+
+BENCH_PATTERN = make_well_known_pattern(0o300)
+
+#: Requests kept outstanding by the streaming requester (§5.5 used
+#: MAXREQUESTS = 3 and notes any value > 1 behaves the same).
+OUTSTANDING = 3
+
+
+@dataclass
+class StreamResult:
+    """Steady-state measurements of one workload run."""
+
+    per_txn_ms: float
+    packets_per_txn: float
+    txns: int
+    #: Per-call times (blocking workloads only).
+    call_times_ms: List[float] = field(default_factory=list)
+    #: Cost-ledger delta over the measured window (µs per category).
+    breakdown_us: Dict[str, float] = field(default_factory=dict)
+
+
+class AcceptingServer(ClientProgram):
+    """Accepts every arrival in the handler (the fast path)."""
+
+    def __init__(self, reply_bytes: int = 0):
+        self.reply = bytes(reply_bytes)
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(BENCH_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_exchange(
+                get=buf, put=self.reply[: event.get_size]
+            )
+
+
+class QueuedServer(ClientProgram):
+    """Enqueues signatures in the handler; the task ACCEPTs (§4.2.1)."""
+
+    def __init__(self, reply_bytes: int = 0, queue_size: int = 16):
+        self.reply = bytes(reply_bytes)
+        self.queue_size = queue_size
+
+    def initialization(self, api, parent_mid):
+        self.pending = Queue(self.queue_size)
+        yield from api.advertise(BENCH_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield from api.enqueue(self.pending, (event.asker, event.put_size, event.get_size))
+
+    def task(self, api):
+        while True:
+            yield from api.poll(lambda: not self.pending.is_empty())
+            asker, put_size, get_size = yield from api.dequeue(self.pending)
+            buf = Buffer(put_size)
+            yield from api.accept_exchange(
+                asker, get=buf, put=self.reply[:get_size]
+            )
+
+
+class StreamingRequester(ClientProgram):
+    """Keeps OUTSTANDING requests in flight; marks each completion."""
+
+    def __init__(self, put_bytes: int, get_bytes: int, total: int):
+        self.put_bytes = put_bytes
+        self.get_bytes = get_bytes
+        self.total = total
+        self.issued = 0
+        self.marks: List[tuple] = []
+
+    def _issue(self, api):
+        self.issued += 1
+        yield from api.request(
+            api.server_sig(0, BENCH_PATTERN),
+            put=bytes(self.put_bytes),
+            get=Buffer(self.get_bytes),
+        )
+
+    def task(self, api):
+        for _ in range(min(OUTSTANDING, self.total)):
+            yield from self._issue(api)
+        yield from api.serve_forever()
+
+    def handler(self, api, event):
+        if event.is_completion:
+            self.marks.append((api.now, api.kernel.nic.bus.frames_sent))
+            if self.issued < self.total:
+                yield from self._issue(api)
+
+
+class BlockingSignaler(ClientProgram):
+    """Issues B_SIGNALs back to back, timing each call."""
+
+    def __init__(self, total: int):
+        self.total = total
+        self.call_times_us: List[float] = []
+
+    def task(self, api):
+        sig = api.server_sig(0, BENCH_PATTERN)
+        for _ in range(self.total):
+            t0 = api.now
+            yield from api.b_signal(sig)
+            self.call_times_us.append(api.now - t0)
+        yield from api.serve_forever()
+
+
+def _build(
+    pipelined: bool,
+    queued_accept: bool,
+    reply_bytes: int,
+    seed: int,
+) -> Network:
+    net = Network(
+        seed=seed,
+        config=KernelConfig(pipelined=pipelined),
+        keep_trace=False,
+    )
+    server = (
+        QueuedServer(reply_bytes=reply_bytes)
+        if queued_accept
+        else AcceptingServer(reply_bytes=reply_bytes)
+    )
+    net.add_node(program=server)
+    return net
+
+
+def run_stream(
+    put_words: int,
+    get_words: int,
+    pipelined: bool = False,
+    queued_accept: bool = False,
+    txns: int = 14,
+    warmup: int = 5,
+    seed: int = 5,
+    word_bytes: int = 2,
+) -> StreamResult:
+    """Steady-state per-transaction latency and packet count (T1-T3)."""
+    put_bytes = put_words * word_bytes
+    get_bytes = get_words * word_bytes
+    net = _build(pipelined, queued_accept, get_bytes, seed)
+    client = StreamingRequester(put_bytes, get_bytes, total=txns)
+    net.add_node(program=client, boot_at_us=100.0)
+    ledger_start: Optional[dict] = None
+    net.run(until=600_000_000.0)
+    if len(client.marks) != txns:
+        raise RuntimeError(
+            f"stream did not complete: {len(client.marks)}/{txns}"
+        )
+    times = [t for t, _ in client.marks]
+    frames = [f for _, f in client.marks]
+    n = txns - warmup - 1
+    per_txn_ms = (times[-1] - times[warmup]) / n / 1000.0
+    packets = (frames[-1] - frames[warmup]) / n
+    return StreamResult(
+        per_txn_ms=per_txn_ms, packets_per_txn=packets, txns=txns
+    )
+
+
+def run_blocking_signals(
+    pipelined: bool = False,
+    queued_accept: bool = False,
+    txns: int = 10,
+    warmup: int = 2,
+    seed: int = 5,
+) -> StreamResult:
+    """Per-call B_SIGNAL latency (the §5.5 8.5 ms / 10.0 ms numbers)."""
+    net = _build(pipelined, queued_accept, 0, seed)
+    client = BlockingSignaler(total=txns)
+    net.add_node(program=client, boot_at_us=100.0)
+    net.run(until=600_000_000.0)
+    if len(client.call_times_us) != txns:
+        raise RuntimeError(
+            f"blocking run incomplete: {len(client.call_times_us)}/{txns}"
+        )
+    steady = client.call_times_us[warmup:]
+    mean_ms = sum(steady) / len(steady) / 1000.0
+    return StreamResult(
+        per_txn_ms=mean_ms,
+        packets_per_txn=0.0,
+        txns=txns,
+        call_times_ms=[t / 1000.0 for t in steady],
+    )

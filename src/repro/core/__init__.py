@@ -1,0 +1,61 @@
+"""The SODA kernel: the paper's primary contribution.
+
+Each network node pairs a :class:`~repro.core.kernel.SodaKernel` (the
+communications adaptor) with a :class:`~repro.core.client.ClientProcessor`
+(the uniprogrammed client).  The kernel exposes exactly the ten primitives
+of §3.7 plus the kernel-interpreted reserved patterns (BOOT/LOAD/KILL/
+SYSTEM) and broadcast DISCOVER.
+"""
+
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProcessor, ClientProgram, HandlerEvent
+from repro.core.config import KernelConfig, TimingModel
+from repro.core.errors import (
+    AcceptStatus,
+    CancelStatus,
+    HandlerReason,
+    RequestStatus,
+    SodaError,
+    TooManyRequestsError,
+)
+from repro.core.kernel import SodaKernel
+from repro.core.node import Network, SodaNode
+from repro.core.patterns import (
+    BROADCAST,
+    PATTERNSIZE,
+    Pattern,
+    PatternTable,
+    UniqueIdGenerator,
+    is_reserved,
+    make_reserved_pattern,
+    make_well_known_pattern,
+)
+from repro.core.signatures import RequesterSignature, ServerSignature
+
+__all__ = [
+    "AcceptStatus",
+    "BROADCAST",
+    "Buffer",
+    "CancelStatus",
+    "ClientProcessor",
+    "ClientProgram",
+    "HandlerEvent",
+    "HandlerReason",
+    "KernelConfig",
+    "Network",
+    "PATTERNSIZE",
+    "Pattern",
+    "PatternTable",
+    "RequestStatus",
+    "RequesterSignature",
+    "ServerSignature",
+    "SodaError",
+    "SodaKernel",
+    "SodaNode",
+    "TimingModel",
+    "TooManyRequestsError",
+    "UniqueIdGenerator",
+    "is_reserved",
+    "make_reserved_pattern",
+    "make_well_known_pattern",
+]

@@ -1,0 +1,104 @@
+"""Booting, killing, and the reserved patterns (§3.5).
+
+A bare node's kernel advertises one or more BOOT PATTERNS describing the
+machine type.  A parent client DISCOVERs such nodes, GETs the boot
+pattern to obtain a freshly-minted LOAD PATTERN, PUTs the core image in
+chunks against the load pattern, and SIGNALs it to start the new client.
+A second SIGNAL on the load pattern — or a SIGNAL on the well-known KILL
+PATTERN — terminates the client.  The SYSTEM pattern lets machine 0 alter
+the reserved patterns network-wide.
+
+In the simulation a "core image" is a :class:`ProgramImage`: a factory
+for a :class:`~repro.core.client.ClientProgram` plus a nominal byte size
+so the boot transfer costs realistic wire time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.patterns import Pattern, make_reserved_pattern
+
+#: Well-known reserved patterns, bound at SODA creation time (§3.7.7.1).
+DEFAULT_KILL_PATTERN: Pattern = make_reserved_pattern(0x4B494C4C)  # "KILL"
+SYSTEM_PATTERN: Pattern = make_reserved_pattern(0x535953)          # "SYS"
+#: Kernel-level remote-memory-reference entry point (the §6.17.2
+#: extension; active only with KernelConfig(kernel_rmr=True)).
+KERNEL_RMR_PATTERN: Pattern = make_reserved_pattern(0x524D52)      # "RMR"
+
+#: Arguments understood by the SYSTEM handler (§3.5.4).
+SYSTEM_ADD_BOOT = 1
+SYSTEM_DELETE_BOOT = 2
+SYSTEM_REPLACE_KILL = 3
+
+
+def boot_pattern_for(machine_type: str) -> Pattern:
+    """The reserved BOOT PATTERN advertised by bare nodes of a type.
+
+    Boot patterns are "indicative of the type of client processor and
+    attached peripherals" (§3.5.2); we derive one deterministically from
+    the type string.
+    """
+    digest = hashlib.sha256(f"boot:{machine_type}".encode("utf-8")).digest()
+    value = int.from_bytes(digest[:5], "big")  # 40 bits < reserved space
+    return make_reserved_pattern(value)
+
+
+def pattern_to_bytes(pattern: Pattern) -> bytes:
+    """Wire encoding of a 48-bit pattern (6 bytes, big-endian)."""
+    return int(pattern).to_bytes(6, "big")
+
+
+def pattern_from_bytes(data: bytes) -> Pattern:
+    if len(data) < 6:
+        raise ValueError("pattern encoding requires 6 bytes")
+    return int.from_bytes(data[:6], "big")
+
+
+def mids_to_bytes(mids) -> bytes:
+    """Wire encoding of a DISCOVER reply list (2 bytes per MID)."""
+    return b"".join(int(mid).to_bytes(2, "big") for mid in mids)
+
+
+def mids_from_bytes(data: bytes) -> list:
+    if len(data) % 2 != 0:
+        data = data[: len(data) - 1]
+    return [
+        int.from_bytes(data[i : i + 2], "big") for i in range(0, len(data), 2)
+    ]
+
+
+@dataclass
+class ProgramImage:
+    """A bootable client program.
+
+    ``size_bytes`` stands in for the core-image size so that booting a
+    client over the network consumes realistic transfer time; the image
+    is typically shipped in several PUT chunks of ``chunk_bytes`` each.
+    """
+
+    name: str
+    program_factory: Callable[[], object]
+    size_bytes: int = 8192
+    chunk_bytes: int = 1024
+
+    def chunks(self):
+        """Yield (offset, nbytes) pairs covering the image."""
+        offset = 0
+        while offset < self.size_bytes:
+            nbytes = min(self.chunk_bytes, self.size_bytes - offset)
+            yield offset, nbytes
+            offset += nbytes
+
+
+@dataclass
+class LoadState:
+    """Kernel-side state of an in-progress boot (§3.5.2)."""
+
+    load_pattern: Pattern
+    parent_mid: int
+    image: Optional[ProgramImage] = None
+    bytes_received: int = 0
+    started: bool = False

@@ -1,0 +1,66 @@
+"""Buffers: descriptors for regions of client memory (§3.1).
+
+A SODA BUFFER is "a descriptor that indicates the size and location of a
+contiguous region of shared memory".  In the simulation a buffer owns its
+bytes; the kernel writes into GET buffers on completion and reads PUT
+bytes at REQUEST/ACCEPT time.  A zero-capacity buffer (``Buffer.nil()``)
+inhibits transfer in that direction, turning a REQUEST into a PUT, GET,
+EXCHANGE, or SIGNAL (§3.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Buffer:
+    """A bounded byte region shared between client and kernel."""
+
+    __slots__ = ("capacity", "data")
+
+    def __init__(self, capacity: int, data: bytes = b"") -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if len(data) > capacity:
+            raise ValueError("initial data exceeds capacity")
+        self.capacity = capacity
+        self.data = data
+
+    @classmethod
+    def nil(cls) -> "Buffer":
+        """The zero-length buffer that inhibits transfer."""
+        return cls(0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Buffer":
+        """A full buffer sized exactly to its contents."""
+        return cls(len(data), data)
+
+    @classmethod
+    def for_words(cls, words: int, word_bytes: int = 2) -> "Buffer":
+        """An empty buffer sized in PDP-11 words."""
+        return cls(words * word_bytes)
+
+    def write(self, data: bytes) -> int:
+        """Store up to capacity bytes; returns the number stored.
+
+        The kernel truncates rather than overruns: a server may ACCEPT
+        with a smaller buffer than REQUESTed (§4.1.2), in which case the
+        requester learns the transferred size from its handler arguments.
+        """
+        stored = data[: self.capacity]
+        self.data = stored
+        return len(stored)
+
+    def clear(self) -> None:
+        self.data = b""
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<Buffer {len(self.data)}/{self.capacity}B>"
+
+
+def buffer_or_nil(buffer: Optional[Buffer]) -> Buffer:
+    return buffer if buffer is not None else Buffer.nil()

@@ -1,0 +1,375 @@
+"""Per-peer connection machinery (§5.2.2-§5.2.3).
+
+Each kernel keeps one :class:`Connection` per remote machine it talks to.
+A connection bundles:
+
+* the **send direction**: an alternating-bit stop-and-wait channel — at
+  most one outstanding sequenced message, a FIFO outbox behind it,
+  bounded retransmission with random backoff, and the *slower* unbounded
+  retry regime for REQUESTs rejected by a BUSY handler;
+* the **receive direction**: a Delta-t record that decides whether an
+  incoming sequence number is new or a duplicate;
+* **acknowledgement deferral**: an ACK owed to the peer is briefly
+  withheld so it can piggyback on the next outgoing sequenced message
+  (typically the ACCEPT answering a REQUEST, or the next REQUEST
+  answering an ACCEPT); a pure ACK goes out only if the deferral timer
+  expires first.
+
+The connection is transport policy only; what the messages *mean* is the
+kernel's business, expressed through the callbacks on each
+:class:`OutboundMessage`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from repro.transport.deltat import DeltaTRecord
+from repro.transport.packet import NackCode, Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import SodaKernel
+
+
+@dataclass
+class OutboundMessage:
+    """A sequenced message queued for reliable delivery."""
+
+    packet: Packet
+    kind: str  # "request" | "accept" | "data" | "cancel"
+    #: REQUEST data rides only on the first transmission (§5.2.3).
+    data_once: bool = False
+    #: BUSY NACKs trigger the unbounded slow-retry regime (requests only).
+    busy_retryable: bool = False
+    on_acked: Optional[Callable[[], None]] = None
+    #: Called when the peer is declared dead (retransmissions exhausted).
+    on_dead: Optional[Callable[[], None]] = None
+    #: Called at the first transmission (kernel "noted" the command).
+    on_transmit: Optional[Callable[[], None]] = None
+    #: If provided and true at pump time, the message is silently dropped
+    #: (a REQUEST cancelled before it was ever transmitted).
+    void_check: Optional[Callable[[], bool]] = None
+    attempts: int = 0
+    busy_attempts: int = 0
+    #: Set once the first transmission (with data, if any) happened.
+    transmitted_with_data: bool = field(default=False)
+    #: Head-of-line priority: may displace a busy-parked REQUEST (the
+    #: DATA reply to an ACCEPT's pull must not deadlock behind new
+    #: REQUESTs to the same, currently-blocked, server).
+    priority: bool = False
+
+
+class Connection:
+    """State for one kernel's conversation with one peer."""
+
+    def __init__(self, kernel: "SodaKernel", peer_mid: int) -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.peer_mid = peer_mid
+        self.send_seq = 0
+        self.outstanding: Optional[OutboundMessage] = None
+        self.outbox: Deque[OutboundMessage] = deque()
+        self.recv_record = DeltaTRecord(kernel.config.deltat)
+        self.owed_ack: Optional[int] = None
+        self._ack_timer = None
+        self._retransmit_timer = None
+        self._busy_timer = None
+        #: Have we ever heard anything from this peer?  Distinguishes
+        #: "server crashed" from "no such machine" on retry exhaustion.
+        self.heard_from_peer = False
+        self.declared_dead = False
+
+    # ------------------------------------------------------------------
+    # send direction
+    # ------------------------------------------------------------------
+
+    def enqueue(self, message: OutboundMessage) -> None:
+        """Queue a sequenced message; transmits when the channel is free."""
+        self.outbox.append(message)
+        self._pump()
+
+    def enqueue_priority(self, message: OutboundMessage) -> None:
+        """Queue at the head of the line, displacing a busy-parked
+        message if necessary (see OutboundMessage.priority)."""
+        message.priority = True
+        self.outbox.appendleft(message)
+        if self.outstanding is None:
+            self._pump()
+        elif self._busy_timer is not None:
+            # The outstanding message is parked awaiting a BUSY retry;
+            # its sequence number was never consumed by the peer, so the
+            # priority message may take over the channel.
+            self._swap_in_priority()
+
+    def _swap_in_priority(self) -> None:
+        parked = self.outstanding
+        assert parked is not None
+        self._cancel_timer("_busy_timer")
+        self._cancel_timer("_retransmit_timer")
+        parked.packet.seq = None
+        parked.busy_attempts = 0
+        message = self.outbox.popleft()
+        self.outbox.appendleft(parked)
+        self.outstanding = message
+        message.packet.seq = self.send_seq
+        if message.on_transmit is not None:
+            message.on_transmit()
+        self._transmit(message, first=True)
+
+    def _pump(self) -> None:
+        while self.outstanding is None and self.outbox:
+            message = self.outbox.popleft()
+            if message.void_check is not None and message.void_check():
+                continue
+            self.outstanding = message
+            message.packet.seq = self.send_seq
+            if message.on_transmit is not None:
+                message.on_transmit()
+            # Defer the actual transmission one event: when the pump runs
+            # from within inbound-packet processing (a piggybacked ack
+            # freed the channel), the rest of that packet — whose own
+            # sequence number we will owe an ack for — must be processed
+            # first so the ack can piggyback on this transmission.
+            self.sim.schedule(0.0, self._transmit_fresh, message)
+
+    def _transmit_fresh(self, message: OutboundMessage) -> None:
+        if self.outstanding is not message:
+            return
+        self._transmit(message, first=True)
+
+    def _transmit(self, message: OutboundMessage, first: bool) -> None:
+        packet = message.packet
+        include_data = packet.data is not None and (
+            not message.data_once or not message.transmitted_with_data
+        )
+        send_packet = packet if include_data else self._strip_data(packet)
+        if include_data and packet.data is not None:
+            message.transmitted_with_data = True
+        message.attempts += 1
+        # Piggyback any owed acknowledgement.
+        ack = self.take_piggyback_ack()
+        if ack is not None:
+            send_packet.ack = ack
+        copy_bytes = send_packet.data_bytes if first and include_data else 0
+        self.kernel.transmit_packet(
+            self.peer_mid, send_packet, copy_bytes=copy_bytes, sequenced=True
+        )
+        self._arm_retransmit(message)
+
+    @staticmethod
+    def _strip_data(packet: Packet) -> Packet:
+        """A retransmission copy without the data payload."""
+        from dataclasses import replace
+
+        return replace(packet, data=None, packet_id=packet.packet_id)
+
+    def _arm_retransmit(self, message: OutboundMessage) -> None:
+        self._cancel_timer("_retransmit_timer")
+        policy = self.kernel.config.retransmit
+        delay = policy.ack_retry_delay(
+            message.attempts,
+            self.sim.rng.stream(f"rexmit.{self.kernel.mid}"),
+            data_bytes=message.packet.data_bytes,
+        )
+        self._retransmit_timer = self.sim.schedule(
+            delay, self._retransmit_fire, message
+        )
+
+    def _retransmit_fire(self, message: OutboundMessage) -> None:
+        self._retransmit_timer = None
+        if self.outstanding is not message:
+            return
+        policy = self.kernel.config.retransmit
+        if policy.exhausted(message.attempts):
+            self._declare_dead(message)
+            return
+        self.sim.trace.record(
+            self.sim.now,
+            "conn.retransmit",
+            mid=self.kernel.mid,
+            peer=self.peer_mid,
+            kind=message.kind,
+            attempt=message.attempts,
+        )
+        self._transmit(message, first=False)
+
+    def _declare_dead(self, message: OutboundMessage) -> None:
+        self.declared_dead = True
+        self.sim.trace.record(
+            self.sim.now,
+            "conn.peer_dead",
+            mid=self.kernel.mid,
+            peer=self.peer_mid,
+            kind=message.kind,
+        )
+        self.outstanding = None
+        self._cancel_timer("_retransmit_timer")
+        self._cancel_timer("_busy_timer")
+        if message.on_dead is not None:
+            message.on_dead()
+        # Everything queued behind the dead message dies with the peer.
+        while self.outbox:
+            queued = self.outbox.popleft()
+            if queued.on_dead is not None:
+                queued.on_dead()
+
+    # -- acknowledgements -------------------------------------------------
+
+    def handle_ack(self, ack_seq: int) -> None:
+        """Process an acknowledgement (pure or piggybacked)."""
+        message = self.outstanding
+        if message is None or message.packet.seq != ack_seq:
+            return  # stale or duplicate ack
+        self.outstanding = None
+        self._cancel_timer("_retransmit_timer")
+        self._cancel_timer("_busy_timer")
+        self.send_seq = 1 - self.send_seq
+        if message.on_acked is not None:
+            message.on_acked()
+        self._pump()
+
+    def handle_busy_nack(self, nacked_seq: int) -> None:
+        """The peer's handler was BUSY; retry at the decaying slow rate."""
+        message = self.outstanding
+        if message is None or message.packet.seq != nacked_seq:
+            return
+        if not message.busy_retryable:
+            # A non-request met BUSY -- should not happen; treat as a
+            # normal retransmission trigger.
+            return
+        # The peer answered: it is alive.  BUSY retries are unbounded
+        # (§5.2.2: a client looping in its handler is not crashed), so
+        # they must not count toward the dead-peer exhaustion limit.
+        message.attempts = 0
+        message.busy_attempts += 1
+        self._cancel_timer("_retransmit_timer")
+        self._cancel_timer("_busy_timer")
+        policy = self.kernel.config.retransmit
+        delay = policy.busy_retry_delay(
+            message.busy_attempts, self.sim.rng.stream(f"busy.{self.kernel.mid}")
+        )
+        self._busy_timer = self.sim.schedule(delay, self._busy_fire, message)
+        if self.outbox and self.outbox[0].priority:
+            # A priority message (ACCEPT data pull) is waiting behind this
+            # parked REQUEST; let it take the channel now.
+            self._swap_in_priority()
+
+    def _busy_fire(self, message: OutboundMessage) -> None:
+        self._busy_timer = None
+        if self.outstanding is not message:
+            return
+        self.sim.trace.record(
+            self.sim.now,
+            "conn.busy_retry",
+            mid=self.kernel.mid,
+            peer=self.peer_mid,
+            attempt=message.busy_attempts,
+        )
+        self._transmit(message, first=False)
+
+    # ------------------------------------------------------------------
+    # receive direction
+    # ------------------------------------------------------------------
+
+    def note_heard(self) -> None:
+        self.heard_from_peer = True
+        self.declared_dead = False
+        self.recv_record.heard(self.sim.now)
+
+    def classify_sequenced(self, packet: Packet) -> str:
+        """'new' or 'duplicate' under the Delta-t record."""
+        assert packet.seq is not None
+        return self.recv_record.classify(packet.seq, self.sim.now)
+
+    def peek_sequenced(self, packet: Packet) -> str:
+        """Verdict without consuming the sequence number."""
+        assert packet.seq is not None
+        return self.recv_record.peek(packet.seq, self.sim.now)
+
+    def rollback_sequenced(self, packet: Packet) -> None:
+        """Un-consume a sequence number (pipelined hold that expired)."""
+        assert packet.seq is not None
+        self.recv_record.expected_seq = packet.seq
+
+    def note_owed_ack(self, seq: int) -> None:
+        """We owe the peer an ack for ``seq``; defer hoping to piggyback."""
+        self.owed_ack = seq
+        self._cancel_timer("_ack_timer")
+        self._ack_timer = self.sim.schedule(
+            self.kernel.config.timing.ack_defer_us, self._ack_timer_fire
+        )
+
+    def suspend_owed_ack(self) -> None:
+        """Stop the pure-ack timer without forgetting the owed ack.
+
+        Used by the pipelined kernel while a REQUEST is held in the input
+        buffer: the ack must not go out until the held REQUEST is either
+        delivered (ack piggybacks on the ACCEPT) or rolled back.
+        """
+        self._cancel_timer("_ack_timer")
+
+    def take_piggyback_ack(self) -> Optional[int]:
+        if self.owed_ack is None:
+            return None
+        ack, self.owed_ack = self.owed_ack, None
+        self._cancel_timer("_ack_timer")
+        return ack
+
+    def forget_owed_ack(self, seq: int) -> None:
+        if self.owed_ack == seq:
+            self.owed_ack = None
+            self._cancel_timer("_ack_timer")
+
+    def _ack_timer_fire(self) -> None:
+        self._ack_timer = None
+        if self.owed_ack is None:
+            return
+        ack, self.owed_ack = self.owed_ack, None
+        self.kernel.transmit_packet(
+            self.peer_mid, Packet(PacketType.ACK, ack=ack), sequenced=False
+        )
+
+    def send_immediate_ack(self, seq: int) -> None:
+        """Re-acknowledge a duplicate right away (no deferral)."""
+        self.kernel.transmit_packet(
+            self.peer_mid, Packet(PacketType.ACK, ack=seq), sequenced=False
+        )
+
+    def send_nack(
+        self,
+        code: NackCode,
+        *,
+        tid: Optional[int] = None,
+        nacked_seq: Optional[int] = None,
+        ack: Optional[int] = None,
+    ) -> None:
+        packet = Packet(
+            PacketType.NACK,
+            nack_code=code,
+            tid=tid,
+            nacked_seq=nacked_seq,
+            ack=ack if ack is not None else self.take_piggyback_ack(),
+        )
+        self.kernel.transmit_packet(self.peer_mid, packet, sequenced=False)
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all connection state (node crash)."""
+        for name in ("_ack_timer", "_retransmit_timer", "_busy_timer"):
+            self._cancel_timer(name)
+        self.outstanding = None
+        self.outbox.clear()
+        self.owed_ack = None
+        self.recv_record.destroy()
+        self.send_seq = 0
+        self.declared_dead = False
+        self.heard_from_peer = False
+
+    def _cancel_timer(self, name: str) -> None:
+        timer = getattr(self, name)
+        if timer is not None:
+            timer.cancel()
+            setattr(self, name, None)

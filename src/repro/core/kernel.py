@@ -1,0 +1,1368 @@
+"""The SODA kernel (Chapter 3, implemented per Chapter 5).
+
+One :class:`SodaKernel` is the communications-adaptor processor of one
+node.  It exposes the ten client primitives, runs the reliable transport
+(alternating-bit + Delta-t, with the piggybacking strategies of §5.2.3),
+interprets the reserved patterns (BOOT/LOAD/KILL/SYSTEM), answers
+DISCOVER broadcasts, probes delivered-but-unaccepted requests, and
+enforces the crash semantics of §3.6.
+
+Simulated kernel CPU time is serialized through ``_busy_until`` and every
+microsecond is charged to a :class:`~repro.sim.tracing.CostLedger`
+category, which is how the paper's overhead-breakdown table is
+regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
+
+from repro.core.boot import (
+    DEFAULT_KILL_PATTERN,
+    KERNEL_RMR_PATTERN,
+    SYSTEM_ADD_BOOT,
+    SYSTEM_DELETE_BOOT,
+    SYSTEM_PATTERN,
+    SYSTEM_REPLACE_KILL,
+    LoadState,
+    ProgramImage,
+    boot_pattern_for,
+    mids_to_bytes,
+    pattern_from_bytes,
+    pattern_to_bytes,
+)
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProcessor, HandlerEvent
+from repro.core.config import KernelConfig
+from repro.core.connection import Connection, OutboundMessage
+from repro.core.errors import (
+    AcceptStatus,
+    CancelStatus,
+    HandlerReason,
+    RequestStatus,
+    SodaError,
+    TooManyRequestsError,
+)
+from repro.core.patterns import (
+    BROADCAST,
+    Pattern,
+    PatternTable,
+    UniqueIdGenerator,
+    is_reserved,
+)
+from repro.core.signatures import RequesterSignature, ServerSignature
+from repro.net.frame import BROADCAST_MID, Frame
+from repro.net.nic import NetworkInterface
+from repro.sim.tracing import CostLedger
+from repro.transport.packet import NackCode, Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import SodaNode
+    from repro.sim.engine import Simulator
+    from repro.sim.process import SimFuture
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"        # accepted by the kernel, not yet transmitted
+    INFLIGHT = "inflight"    # transmitted, not yet acknowledged
+    DELIVERED = "delivered"  # at the server handler, being probed
+    COMPLETED = "completed"  # handler told (success or failure)
+    CANCELLED = "cancelled"
+
+
+class DeliveredState(enum.Enum):
+    DELIVERED = "delivered"  # available for ACCEPT
+    ACCEPTED = "accepted"    # ACCEPT issued; exchange under way
+    DONE = "done"            # exchange finished
+    CANCELLED = "cancelled"  # withdrawn by the requester
+
+
+@dataclass
+class RequestRecord:
+    """Requester-side bookkeeping for one REQUEST."""
+
+    tid: int
+    server_sig: ServerSignature
+    arg: int
+    put_data: bytes
+    get_buffer: Buffer
+    state: RequestState = RequestState.QUEUED
+    outbound: Optional[OutboundMessage] = None
+    is_discover: bool = False
+    completion_status: Optional[RequestStatus] = None
+    probe_timer: object = None
+    probe_deadline: object = None
+    probe_failures: int = 0
+    pending_cancel: Optional["SimFuture"] = None
+
+    @property
+    def open(self) -> bool:
+        return self.state not in (RequestState.COMPLETED, RequestState.CANCELLED)
+
+
+@dataclass
+class DeliveredRequest:
+    """Server-side record of a REQUEST that reached the handler."""
+
+    sig: RequesterSignature
+    pattern: Pattern
+    arg: int
+    put_size: int
+    get_size: int
+    put_data: Optional[bytes]
+    state: DeliveredState = DeliveredState.DELIVERED
+
+
+@dataclass
+class PendingAccept:
+    """Server-side state of a blocking ACCEPT in progress."""
+
+    sig: RequesterSignature
+    future: "SimFuture"
+    get_buffer: Buffer
+    #: "none": return after the ACCEPT is noted and sent.
+    #: "ack": block until the data-carrying ACCEPT is acknowledged.
+    #: "data": block until the pulled put-direction data arrives.
+    wait_for: str = "none"
+    resolved: bool = False
+
+    def resolve(self, status: AcceptStatus) -> None:
+        if not self.resolved:
+            self.resolved = True
+            self.future.resolve(status)
+
+
+@dataclass
+class HeldRequest:
+    """The pipelined kernel's occupied input buffer (§5.2.3)."""
+
+    src: int
+    packet: Packet
+    timer: object = None
+
+
+@dataclass
+class DiscoverState:
+    record: RequestRecord
+    mids: Set[int] = field(default_factory=set)
+    timer: object = None
+
+
+class SodaKernel:
+    """One node's SODA processor."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        nic: NetworkInterface,
+        config: Optional[KernelConfig] = None,
+        machine_type: str = "generic",
+        ledger: Optional[CostLedger] = None,
+        node: Optional["SodaNode"] = None,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.config = config or KernelConfig()
+        self.machine_type = machine_type
+        self.ledger = ledger or CostLedger()
+        self.node = node
+        self.mid = nic.mid
+        nic.on_frame = self.on_frame
+
+        self.uidgen = UniqueIdGenerator(serial=self.mid & 0xFF)
+        self.patterns = PatternTable(direct_index=self.config.direct_index_patterns)
+        self.connections: Dict[int, Connection] = {}
+
+        # requester side
+        self.requests: Dict[int, RequestRecord] = {}
+        self._discovers: Dict[int, DiscoverState] = {}
+        self._discover_tokens = itertools.count(1)
+
+        # server side
+        self.delivered: Dict[RequesterSignature, DeliveredRequest] = {}
+        self.pending_accepts: Dict[RequesterSignature, PendingAccept] = {}
+        self.completion_queue: Deque[HandlerEvent] = deque()
+        self.held: Optional[HeldRequest] = None
+
+        # handler state (the kernel owns OPEN/CLOSED/BUSY; §3.3.4)
+        self.handler_open = False
+        self._handler_busy = False
+        self._pending_handler_open: Optional[bool] = None
+
+        # client & boot state
+        self.client: Optional[ClientProcessor] = None
+        self._tid_watermark = 0
+        self.kill_pattern: Pattern = DEFAULT_KILL_PATTERN
+        self.boot_patterns: List[Pattern] = [boot_pattern_for(machine_type)]
+        self._boot_active = True  # boot patterns advertised (no client)
+        self._load: Optional[LoadState] = None
+
+        # §6.17.2 extension: client memory served by the kernel RMR
+        # handler (set via client_register_rmr_memory).
+        self.rmr_memory: Optional[bytearray] = None
+
+        # node liveness
+        self.offline_until: Optional[float] = None
+        self._busy_until = 0.0
+
+    # ==================================================================
+    # small helpers
+    # ==================================================================
+
+    def _conn(self, mid: int) -> Connection:
+        conn = self.connections.get(mid)
+        if conn is None:
+            conn = Connection(self, mid)
+            self.connections[mid] = conn
+        return conn
+
+    def _outstanding_count(self) -> int:
+        return sum(1 for record in self.requests.values() if record.open)
+
+    def _kernel_work(self, charges: Dict[str, float], fn=None, *args) -> None:
+        """Charge ledger categories and serialize work on the kernel CPU."""
+        total = 0.0
+        for category, us in charges.items():
+            if us:
+                self.ledger.charge(category, us)
+                total += us
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + total
+        if fn is not None:
+            self.sim.at(self._busy_until, fn, *args)
+
+    # ==================================================================
+    # wire I/O
+    # ==================================================================
+
+    def transmit_packet(
+        self,
+        dst: int,
+        packet: Packet,
+        copy_bytes: int = 0,
+        sequenced: bool = False,
+    ) -> None:
+        """Send one packet, charging kernel and wire costs."""
+        if self.offline_until is not None:
+            return
+        tm = self.config.timing
+        charges = {
+            "protocol": tm.protocol_send_us + tm.copy_cost_us(copy_bytes),
+            "connection_timers": tm.connection_timer_us,
+        }
+        if sequenced:
+            charges["retransmit_timers"] = tm.retransmit_timer_us
+        self._kernel_work(charges, self._do_send, dst, packet)
+
+    def _do_send(self, dst: int, packet: Packet) -> None:
+        if self.offline_until is not None:
+            return
+        frame = self.nic.send(dst, packet, payload_bytes=packet.wire_payload_bytes())
+        self.ledger.charge("transmission", self.nic.bus.serialization_us(frame))
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.tx",
+            mid=self.mid,
+            dst=dst,
+            ptype=packet.ptype.value,
+            desc=packet.describe(),
+            bytes=packet.data_bytes,
+        )
+
+    def on_frame(self, frame: Frame) -> None:
+        if self.offline_until is not None:
+            return
+        packet: Packet = frame.payload
+        tm = self.config.timing
+        charges = {
+            "protocol": tm.protocol_recv_us + tm.copy_cost_us(packet.data_bytes),
+            "connection_timers": tm.connection_timer_us,
+        }
+        self._kernel_work(charges, self._process_packet, frame.src, packet)
+
+    # ==================================================================
+    # packet dispatch
+    # ==================================================================
+
+    def _process_packet(self, src: int, packet: Packet) -> None:
+        if self.offline_until is not None:
+            return
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.rx",
+            mid=self.mid,
+            src=src,
+            ptype=packet.ptype.value,
+            desc=packet.describe(),
+        )
+        conn = self._conn(src)
+        conn.note_heard()
+        ptype = packet.ptype
+        if ptype is PacketType.NACK and packet.nack_code is not NackCode.BUSY:
+            # An error NACK both rejects the message at the application
+            # level and acknowledges it at the transport level; the
+            # rejection must win (a blocked ACCEPT resolves CANCELLED or
+            # CRASHED, not SUCCESS-by-ack).
+            self._handle_nack(src, packet, conn)
+            if packet.ack is not None:
+                conn.handle_ack(packet.ack)
+            return
+        if packet.ack is not None:
+            conn.handle_ack(packet.ack)
+
+        if ptype is PacketType.ACK:
+            return
+        if ptype is PacketType.NACK:
+            self._handle_nack(src, packet, conn)
+        elif ptype is PacketType.REQUEST:
+            self._handle_request_packet(src, packet, conn)
+        elif ptype is PacketType.ACCEPT:
+            self._handle_accept_packet(src, packet, conn)
+        elif ptype is PacketType.DATA:
+            self._handle_data_packet(src, packet, conn)
+        elif ptype is PacketType.CANCEL:
+            self._handle_cancel_packet(src, packet, conn)
+        elif ptype is PacketType.CANCEL_REPLY:
+            self._handle_cancel_reply(src, packet)
+        elif ptype is PacketType.PROBE:
+            self._handle_probe(src, packet, conn)
+        elif ptype is PacketType.PROBE_REPLY:
+            self._handle_probe_reply(src, packet)
+        elif ptype is PacketType.DISCOVER_QUERY:
+            self._handle_discover_query(src, packet)
+        elif ptype is PacketType.DISCOVER_REPLY:
+            self._handle_discover_reply(src, packet)
+
+    def _accept_sequenced(self, conn: Connection, packet: Packet) -> bool:
+        """Consume a sequenced packet; False for duplicates (re-acked)."""
+        verdict = conn.classify_sequenced(packet)
+        if verdict == "duplicate":
+            conn.send_immediate_ack(packet.seq)
+            return False
+        conn.note_owed_ack(packet.seq)
+        return True
+
+    # ------------------------------------------------------------------
+    # NACKs
+    # ------------------------------------------------------------------
+
+    def _handle_nack(self, src: int, packet: Packet, conn: Connection) -> None:
+        code = packet.nack_code
+        if code is NackCode.BUSY:
+            conn.handle_busy_nack(packet.nacked_seq)
+            return
+        if code is NackCode.UNADVERTISED:
+            record = self.requests.get(packet.tid)
+            if record is not None and record.open:
+                self._complete_request_failure(record, RequestStatus.UNADVERTISED)
+            return
+        if code in (NackCode.CANCELLED, NackCode.CRASHED):
+            sig = RequesterSignature(src, packet.tid)
+            pending = self.pending_accepts.pop(sig, None)
+            if pending is not None:
+                status = (
+                    AcceptStatus.CANCELLED
+                    if code is NackCode.CANCELLED
+                    else AcceptStatus.CRASHED
+                )
+                pending.resolve(status)
+            delivered = self.delivered.get(sig)
+            if delivered is not None:
+                delivered.state = DeliveredState.DONE
+
+    # ------------------------------------------------------------------
+    # REQUEST arrival (server side)
+    # ------------------------------------------------------------------
+
+    def _handle_request_packet(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        # A duplicate of an already-delivered REQUEST must be
+        # re-acknowledged no matter what the handler is doing; BUSY-
+        # NACKing it would convince the requester its (delivered!)
+        # request never arrived and wedge the channel.
+        if conn.peek_sequenced(packet) == "duplicate":
+            conn.send_immediate_ack(packet.seq)
+            return
+        pattern = packet.pattern
+        if is_reserved(pattern):
+            if self._accept_sequenced(conn, packet):
+                self._handle_reserved_request(src, packet, conn)
+            return
+        if not self.patterns.matches(pattern):
+            if self._accept_sequenced(conn, packet):
+                conn.send_nack(NackCode.UNADVERTISED, tid=packet.tid)
+            return
+        # A client pattern: delivery depends on the handler state.
+        if self._handler_eligible_for_arrival():
+            if self._accept_sequenced(conn, packet):
+                self._deliver_arrival(src, packet)
+            return
+        # Handler BUSY or CLOSED.
+        if self.config.pipelined and self.held is None:
+            if not self._accept_sequenced(conn, packet):
+                return
+            conn.suspend_owed_ack()
+            timer = self.sim.schedule(
+                self.config.timing.input_buffer_hold_us, self._held_expired
+            )
+            self.held = HeldRequest(src, packet, timer)
+            self.sim.trace.record(
+                self.sim.now, "kernel.hold", mid=self.mid, src=src, tid=packet.tid
+            )
+        else:
+            conn.send_nack(NackCode.BUSY, nacked_seq=packet.seq)
+            self.sim.trace.record(
+                self.sim.now, "kernel.busy_nack", mid=self.mid, src=src,
+                tid=packet.tid,
+            )
+
+    def _held_expired(self) -> None:
+        held = self.held
+        if held is None:
+            return
+        self.held = None
+        conn = self._conn(held.src)
+        conn.rollback_sequenced(held.packet)
+        conn.forget_owed_ack(held.packet.seq)
+        conn.send_nack(NackCode.BUSY, nacked_seq=held.packet.seq, ack=None)
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.busy_nack",
+            mid=self.mid,
+            src=held.src,
+            tid=held.packet.tid,
+            hold_expired=True,
+        )
+
+    def _deliver_arrival(self, src: int, packet: Packet) -> None:
+        sig = RequesterSignature(src, packet.tid)
+        self.delivered[sig] = DeliveredRequest(
+            sig=sig,
+            pattern=packet.pattern,
+            arg=packet.arg,
+            put_size=packet.put_size,
+            get_size=packet.get_size,
+            put_data=packet.data,
+        )
+        event = HandlerEvent(
+            reason=HandlerReason.REQUEST_ARRIVAL,
+            asker=sig,
+            pattern=packet.pattern,
+            arg=packet.arg,
+            put_size=packet.put_size,
+            get_size=packet.get_size,
+        )
+        self._invoke_handler(event)
+
+    # ------------------------------------------------------------------
+    # handler invocation machinery
+    # ------------------------------------------------------------------
+
+    def _handler_eligible(self) -> bool:
+        return (
+            self.handler_open
+            and not self._handler_busy
+            and self.client is not None
+            and self.client.can_take_interrupt
+        )
+
+    def _handler_eligible_for_arrival(self) -> bool:
+        # Queued completion interrupts make the handler BUSY to arrivals
+        # (§3.7.5), and a held REQUEST is already first in line.
+        return (
+            self._handler_eligible()
+            and not self.completion_queue
+            and self.held is None
+        )
+
+    def _invoke_handler(self, event: HandlerEvent) -> None:
+        self._handler_busy = True
+        self.ledger.charge(
+            "context_switch", self.config.timing.context_switch_us
+        )
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.interrupt",
+            mid=self.mid,
+            reason=event.reason.value,
+        )
+        assert self.client is not None
+        self.client.run_handler(event)
+
+    def _deliver_completion(self, event: HandlerEvent) -> None:
+        if self.client is None or self.client.dead:
+            return
+        if self._handler_eligible():
+            self._invoke_handler(event)
+        else:
+            self.completion_queue.append(event)
+
+    def note_boot_started(self) -> None:
+        """The boot handler (Initialization) is about to run."""
+        self.handler_open = True
+        self._handler_busy = True
+
+    def client_endhandler(self) -> Optional[HandlerEvent]:
+        """ENDHANDLER: returns an event to run immediately, if any."""
+        self.ledger.charge("context_switch", self.config.timing.endhandler_us)
+        self._handler_busy = False
+        if self._pending_handler_open is not None:
+            self.handler_open = self._pending_handler_open
+            self._pending_handler_open = None
+        return self._next_immediate_event()
+
+    def _next_immediate_event(self) -> Optional[HandlerEvent]:
+        if not self._handler_eligible():
+            return None
+        if self.completion_queue:
+            event = self.completion_queue.popleft()
+            self._handler_busy = True
+            self.ledger.charge(
+                "context_switch", self.config.timing.context_switch_us
+            )
+            return event
+        if self.held is not None:
+            held = self.held
+            self.held = None
+            if held.timer is not None:
+                held.timer.cancel()
+            # Becomes a normal arrival; its ack is still owed and will
+            # piggyback on whatever the handler sends back.
+            src, packet = held.src, held.packet
+            self._handler_busy = True
+            sig = RequesterSignature(src, packet.tid)
+            self.delivered[sig] = DeliveredRequest(
+                sig=sig,
+                pattern=packet.pattern,
+                arg=packet.arg,
+                put_size=packet.put_size,
+                get_size=packet.get_size,
+                put_data=packet.data,
+            )
+            self.ledger.charge(
+                "context_switch", self.config.timing.context_switch_us
+            )
+            return HandlerEvent(
+                reason=HandlerReason.REQUEST_ARRIVAL,
+                asker=sig,
+                pattern=packet.pattern,
+                arg=packet.arg,
+                put_size=packet.put_size,
+                get_size=packet.get_size,
+            )
+        return None
+
+    def poll_handler(self) -> None:
+        """Deliver pending interrupts if the handler just became eligible
+        (after OPEN, or after the client leaves a blocking primitive)."""
+        event = self._next_immediate_event()
+        if event is not None:
+            assert self.client is not None
+            self.client.run_handler(event)
+
+    # ==================================================================
+    # client primitives (§3.7)
+    # ==================================================================
+
+    # -- naming ----------------------------------------------------------
+
+    def client_advertise(self, pattern: Pattern) -> None:
+        self.patterns.advertise(pattern)
+
+    def client_unadvertise(self, pattern: Pattern) -> None:
+        self.patterns.unadvertise(pattern)
+
+    def client_getuniqueid(self) -> Pattern:
+        return self.uidgen.next_pattern()
+
+    # -- handler control ---------------------------------------------------
+
+    def client_open(self) -> None:
+        if self.client is not None and self.client.executing_handler:
+            self._pending_handler_open = True
+        else:
+            self.handler_open = True
+            self.poll_handler()
+
+    def client_close(self) -> None:
+        if self.client is not None and self.client.executing_handler:
+            self._pending_handler_open = False
+        else:
+            self.handler_open = False
+
+    # -- REQUEST -------------------------------------------------------------
+
+    def client_request(
+        self,
+        server_sig: ServerSignature,
+        arg: int,
+        put_data: bytes = b"",
+        get_buffer: Optional[Buffer] = None,
+        image: Optional[ProgramImage] = None,
+    ) -> int:
+        """Non-blocking REQUEST; returns the TID immediately.
+
+        ``image`` rides along with put data during booting: the paper
+        PUTs raw core-image bytes; in the simulation the executable part
+        is a ProgramImage object (§3.5.2).
+        """
+        get_buffer = get_buffer if get_buffer is not None else Buffer.nil()
+        limit = self.config.max_message_bytes
+        if len(put_data) > limit or get_buffer.capacity > limit:
+            raise SodaError(
+                f"message exceeds the fixed maximum of {limit} bytes"
+            )
+        if self._outstanding_count() >= self.config.max_requests:
+            raise TooManyRequestsError(
+                f"MAXREQUESTS={self.config.max_requests} already uncompleted"
+            )
+        tid = self.uidgen.next_tid()
+        record = RequestRecord(
+            tid=tid,
+            server_sig=server_sig,
+            arg=arg,
+            put_data=put_data,
+            get_buffer=get_buffer,
+        )
+        self.requests[tid] = record
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.request",
+            mid=self.mid,
+            tid=tid,
+            dst=server_sig.mid,
+            pattern=server_sig.pattern,
+            put=len(put_data),
+            get=get_buffer.capacity,
+        )
+        if server_sig.mid == BROADCAST:
+            record.is_discover = True
+            self._start_discover(record)
+            return tid
+        conn = self._conn(server_sig.mid)
+        packet = Packet(
+            PacketType.REQUEST,
+            pattern=server_sig.pattern,
+            tid=tid,
+            requester_mid=self.mid,
+            arg=arg,
+            put_size=len(put_data),
+            get_size=get_buffer.capacity,
+            data=(
+                put_data
+                if put_data and self.config.data_with_request
+                else None
+            ),
+            image=image,
+        )
+        message = OutboundMessage(
+            packet,
+            "request",
+            data_once=True,
+            busy_retryable=True,
+            on_acked=lambda: self._request_acked(record),
+            on_dead=lambda: self._request_peer_dead(record, conn),
+            on_transmit=lambda: self._request_transmitted(record),
+            void_check=lambda: not record.open,
+        )
+        record.outbound = message
+        conn.enqueue(message)
+        return tid
+
+    def _request_transmitted(self, record: RequestRecord) -> None:
+        if record.state is RequestState.QUEUED:
+            record.state = RequestState.INFLIGHT
+
+    def _request_acked(self, record: RequestRecord) -> None:
+        if record.state is not RequestState.INFLIGHT:
+            return
+        record.state = RequestState.DELIVERED
+        self._schedule_probe(record)
+        if record.pending_cancel is not None:
+            self._send_cancel_packet(record)
+
+    def _request_peer_dead(self, record: RequestRecord, conn: Connection) -> None:
+        if not record.open:
+            return
+        status = (
+            RequestStatus.CRASHED
+            if conn.heard_from_peer
+            else RequestStatus.UNADVERTISED
+        )
+        self._complete_request_failure(record, status)
+
+    def _complete_request_failure(
+        self, record: RequestRecord, status: RequestStatus
+    ) -> None:
+        if not record.open:
+            return
+        record.state = RequestState.COMPLETED
+        record.completion_status = status
+        self._stop_probing(record)
+        if record.pending_cancel is not None:
+            record.pending_cancel.resolve(CancelStatus.FAIL)
+            record.pending_cancel = None
+        event = HandlerEvent(
+            reason=HandlerReason.REQUEST_COMPLETE,
+            asker=RequesterSignature(self.mid, record.tid),
+            status=status,
+            arg=0,
+        )
+        self._deliver_completion(event)
+
+    # -- ACCEPT (inbound, requester side) --------------------------------
+
+    def _handle_accept_packet(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        if not self._accept_sequenced(conn, packet):
+            return
+        record = self.requests.get(packet.tid)
+        # An ACCEPT proves the REQUEST was delivered: treat it as an
+        # implicit transport acknowledgement if ours is still pending
+        # (its explicit ack may have been lost or deferred).
+        if (
+            record is not None
+            and record.outbound is not None
+            and conn.outstanding is record.outbound
+        ):
+            conn.handle_ack(record.outbound.packet.seq)
+        if record is None:
+            code = (
+                NackCode.CRASHED
+                if packet.tid < self._tid_watermark
+                else NackCode.CANCELLED
+            )
+            conn.send_nack(code, tid=packet.tid)
+            return
+        if not record.open:
+            conn.send_nack(NackCode.CANCELLED, tid=packet.tid)
+            return
+        # Normal completion.
+        record.state = RequestState.COMPLETED
+        record.completion_status = RequestStatus.COMPLETED
+        self._stop_probing(record)
+        if record.pending_cancel is not None:
+            record.pending_cancel.resolve(CancelStatus.FAIL)
+            record.pending_cancel = None
+        taken_get = 0
+        if packet.data is not None:
+            taken_get = record.get_buffer.write(packet.data)
+        if packet.pull_data:
+            # The server never saw our put data (it was stripped from a
+            # retransmission); ship it now, reliably.
+            data = record.put_data[: packet.taken_put]
+            pull_packet = Packet(
+                PacketType.DATA, tid=record.tid, data=data if data else None
+            )
+            conn.enqueue_priority(OutboundMessage(pull_packet, "data"))
+        event = HandlerEvent(
+            reason=HandlerReason.REQUEST_COMPLETE,
+            asker=RequesterSignature(self.mid, record.tid),
+            status=RequestStatus.COMPLETED,
+            arg=packet.arg,
+            taken_put=packet.taken_put,
+            taken_get=taken_get,
+        )
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.complete",
+            mid=self.mid,
+            tid=record.tid,
+            arg=packet.arg,
+            taken_put=packet.taken_put,
+            taken_get=taken_get,
+        )
+        self._deliver_completion(event)
+
+    # -- ACCEPT (outbound, server side) -------------------------------------
+
+    def client_accept(
+        self,
+        req_sig: RequesterSignature,
+        arg: int,
+        get_buffer: Optional[Buffer] = None,
+        put_data: bytes = b"",
+    ) -> "SimFuture":
+        """Blocking ACCEPT; resolves to an AcceptStatus."""
+        get_buffer = get_buffer if get_buffer is not None else Buffer.nil()
+        future = self.sim.new_future()
+        delivered = self.delivered.get(req_sig)
+        conn = self.connections.get(req_sig.mid)
+        if (
+            delivered is None
+            or delivered.state is not DeliveredState.DELIVERED
+        ):
+            # Completed, cancelled, never delivered here, or forged
+            # (§3.3.2 rule 6); a requester already known to have crashed
+            # is reported as CRASHED immediately (§3.3.2).
+            if conn is not None and conn.declared_dead:
+                status = AcceptStatus.CRASHED
+            elif (
+                delivered is not None
+                and delivered.state is DeliveredState.CANCELLED
+            ):
+                status = AcceptStatus.CANCELLED
+            else:
+                status = AcceptStatus.CANCELLED
+            self.sim.schedule(
+                self.config.timing.protocol_send_us, future.resolve, status
+            )
+            return future
+        conn = self._conn(req_sig.mid)
+        if conn.declared_dead:
+            self.sim.schedule(
+                self.config.timing.protocol_send_us,
+                future.resolve,
+                AcceptStatus.CRASHED,
+            )
+            return future
+        delivered.state = DeliveredState.ACCEPTED
+        taken_put = min(delivered.put_size, get_buffer.capacity)
+        taken_get = min(len(put_data), delivered.get_size)
+        pull = delivered.put_data is None and taken_put > 0
+        copy_bytes = 0
+        if delivered.put_data is not None and taken_put > 0:
+            get_buffer.write(delivered.put_data[:taken_put])
+            copy_bytes = taken_put
+        data = put_data[:taken_get] if taken_get > 0 else None
+        packet = Packet(
+            PacketType.ACCEPT,
+            tid=req_sig.tid,
+            arg=arg,
+            data=data,
+            pull_data=pull,
+            taken_put=taken_put,
+            taken_get=taken_get,
+        )
+        if pull:
+            wait_for = "data"
+        elif data is not None:
+            wait_for = "ack"
+        else:
+            wait_for = "none"
+        pending = PendingAccept(
+            sig=req_sig,
+            future=future,
+            get_buffer=get_buffer,
+            wait_for=wait_for,
+        )
+        self.pending_accepts[req_sig] = pending
+        if copy_bytes:
+            self.ledger.charge(
+                "protocol", self.config.timing.copy_cost_us(copy_bytes)
+            )
+        message = OutboundMessage(
+            packet,
+            "accept",
+            on_acked=lambda: self._accept_acked(pending, delivered),
+            on_dead=lambda: self._accept_peer_dead(pending, delivered),
+            on_transmit=(
+                (lambda: self._accept_noted(pending, delivered))
+                if wait_for == "none"
+                else None
+            ),
+        )
+        conn.enqueue(message)
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.accept",
+            mid=self.mid,
+            sig=str(req_sig),
+            wait=wait_for,
+            taken_put=taken_put,
+            taken_get=taken_get,
+        )
+        return future
+
+    def _accept_noted(
+        self, pending: PendingAccept, delivered: DeliveredRequest
+    ) -> None:
+        # Dataless ACCEPT: the exchange was local; unblock the server as
+        # soon as the kernel has noted and dispatched the command.
+        delivered.state = DeliveredState.DONE
+        pending.resolve(AcceptStatus.SUCCESS)
+
+    def _accept_acked(
+        self, pending: PendingAccept, delivered: DeliveredRequest
+    ) -> None:
+        if pending.wait_for == "ack":
+            delivered.state = DeliveredState.DONE
+            self.pending_accepts.pop(pending.sig, None)
+            pending.resolve(AcceptStatus.SUCCESS)
+        # wait_for == "data": resolution happens when the DATA arrives.
+
+    def _accept_peer_dead(
+        self, pending: PendingAccept, delivered: DeliveredRequest
+    ) -> None:
+        delivered.state = DeliveredState.DONE
+        self.pending_accepts.pop(pending.sig, None)
+        pending.resolve(AcceptStatus.CRASHED)
+
+    def _handle_data_packet(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        if not self._accept_sequenced(conn, packet):
+            return
+        sig = RequesterSignature(src, packet.tid)
+        pending = self.pending_accepts.pop(sig, None)
+        if pending is None:
+            return
+        if packet.data is not None:
+            pending.get_buffer.write(packet.data)
+        delivered = self.delivered.get(sig)
+        if delivered is not None:
+            delivered.state = DeliveredState.DONE
+        pending.resolve(AcceptStatus.SUCCESS)
+
+    # -- CANCEL ----------------------------------------------------------
+
+    def client_cancel(self, req_sig: RequesterSignature) -> "SimFuture":
+        """Blocking CANCEL; resolves to a CancelStatus."""
+        future = self.sim.new_future()
+        small = self.config.timing.protocol_send_us
+        record = self.requests.get(req_sig.tid)
+        if req_sig.mid != self.mid or record is None:
+            self.sim.schedule(small, future.resolve, CancelStatus.FAIL)
+            return future
+        if record.state is RequestState.COMPLETED:
+            self.sim.schedule(small, future.resolve, CancelStatus.FAIL)
+            return future
+        if record.state is RequestState.CANCELLED:
+            self.sim.schedule(small, future.resolve, CancelStatus.SUCCESS)
+            return future
+        if record.state is RequestState.QUEUED:
+            record.state = RequestState.CANCELLED
+            self.sim.schedule(small, future.resolve, CancelStatus.SUCCESS)
+            return future
+        record.pending_cancel = future
+        if record.state is RequestState.DELIVERED:
+            self._send_cancel_packet(record)
+        # INFLIGHT: wait for the ack (then _request_acked sends the
+        # cancel) or for a failure completion (then FAIL).
+        return future
+
+    def _send_cancel_packet(self, record: RequestRecord) -> None:
+        conn = self._conn(record.server_sig.mid)
+        packet = Packet(PacketType.CANCEL, tid=record.tid)
+        conn.enqueue(
+            OutboundMessage(
+                packet,
+                "cancel",
+                on_dead=lambda: self._cancel_peer_dead(record),
+            )
+        )
+
+    def _cancel_peer_dead(self, record: RequestRecord) -> None:
+        # Server unreachable: the request will complete CRASHED through
+        # its own machinery; report the cancel as failed.
+        if record.pending_cancel is not None:
+            record.pending_cancel.resolve(CancelStatus.FAIL)
+            record.pending_cancel = None
+
+    def _handle_cancel_packet(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        if not self._accept_sequenced(conn, packet):
+            return
+        sig = RequesterSignature(src, packet.tid)
+        delivered = self.delivered.get(sig)
+        ok = delivered is not None and delivered.state is DeliveredState.DELIVERED
+        if ok:
+            delivered.state = DeliveredState.CANCELLED
+        reply = Packet(
+            PacketType.CANCEL_REPLY,
+            tid=packet.tid,
+            arg=1 if ok else 0,
+            ack=conn.take_piggyback_ack(),
+        )
+        self.transmit_packet(src, reply, sequenced=False)
+
+    def _handle_cancel_reply(self, src: int, packet: Packet) -> None:
+        record = self.requests.get(packet.tid)
+        if record is None or record.pending_cancel is None:
+            return
+        future, record.pending_cancel = record.pending_cancel, None
+        if packet.arg == 1 and record.open:
+            record.state = RequestState.CANCELLED
+            self._stop_probing(record)
+            future.resolve(CancelStatus.SUCCESS)
+        else:
+            future.resolve(CancelStatus.FAIL)
+
+    # -- probes (§3.6.2) ---------------------------------------------------
+
+    def _schedule_probe(self, record: RequestRecord) -> None:
+        self._stop_probing(record)
+        record.probe_timer = self.sim.schedule(
+            self.config.probe_interval_us, self._probe_fire, record
+        )
+
+    def _stop_probing(self, record: RequestRecord) -> None:
+        for attr in ("probe_timer", "probe_deadline"):
+            timer = getattr(record, attr)
+            if timer is not None:
+                timer.cancel()
+                setattr(record, attr, None)
+
+    def _probe_fire(self, record: RequestRecord) -> None:
+        record.probe_timer = None
+        if record.state is not RequestState.DELIVERED:
+            return
+        packet = Packet(PacketType.PROBE, tid=record.tid)
+        self.transmit_packet(record.server_sig.mid, packet, sequenced=False)
+        record.probe_deadline = self.sim.schedule(
+            self.config.retransmit.ack_timeout_us, self._probe_timeout, record
+        )
+
+    def _probe_timeout(self, record: RequestRecord) -> None:
+        record.probe_deadline = None
+        if record.state is not RequestState.DELIVERED:
+            return
+        record.probe_failures += 1
+        if record.probe_failures >= self.config.probe_failures_to_crash:
+            self._complete_request_failure(record, RequestStatus.CRASHED)
+        else:
+            self._probe_fire(record)
+
+    def _handle_probe(self, src: int, packet: Packet, conn: Connection) -> None:
+        sig = RequesterSignature(src, packet.tid)
+        delivered = self.delivered.get(sig)
+        alive = delivered is not None and delivered.state in (
+            DeliveredState.DELIVERED,
+            DeliveredState.ACCEPTED,
+            DeliveredState.DONE,
+        )
+        reply = Packet(
+            PacketType.PROBE_REPLY,
+            tid=packet.tid,
+            arg=1 if alive else 0,
+            ack=conn.take_piggyback_ack(),
+        )
+        self.transmit_packet(src, reply, sequenced=False)
+
+    def _handle_probe_reply(self, src: int, packet: Packet) -> None:
+        record = self.requests.get(packet.tid)
+        if record is None or record.state is not RequestState.DELIVERED:
+            return
+        if record.probe_deadline is not None:
+            record.probe_deadline.cancel()
+            record.probe_deadline = None
+        if packet.arg == 1:
+            record.probe_failures = 0
+            self._schedule_probe(record)
+        else:
+            self._complete_request_failure(record, RequestStatus.CRASHED)
+
+    # -- DISCOVER (§3.4.4, §5.3) ------------------------------------------
+
+    def _start_discover(self, record: RequestRecord) -> None:
+        token = next(self._discover_tokens)
+        state = DiscoverState(record=record)
+        state.timer = self.sim.schedule(
+            self.config.discover_window_us, self._discover_done, token
+        )
+        self._discovers[token] = state
+        packet = Packet(
+            PacketType.DISCOVER_QUERY,
+            pattern=record.server_sig.pattern,
+            query_token=token,
+            requester_mid=self.mid,
+        )
+        record.state = RequestState.INFLIGHT
+        self.transmit_packet(BROADCAST_MID, packet, sequenced=False)
+
+    def _handle_discover_query(self, src: int, packet: Packet) -> None:
+        pattern = packet.pattern
+        matched = self.patterns.matches(pattern) or (
+            is_reserved(pattern) and self._reserved_discoverable(pattern)
+        )
+        if not matched:
+            return
+        # Staggered replies avoid a response collision storm (§5.3).
+        delay = self.mid * self.config.discover_stagger_us
+        reply = Packet(
+            PacketType.DISCOVER_REPLY,
+            reply_mid=self.mid,
+            query_token=packet.query_token,
+        )
+        self.sim.schedule(
+            delay, self.transmit_packet, src, reply, 0, False
+        )
+
+    def _reserved_discoverable(self, pattern: Pattern) -> bool:
+        if self._boot_active and pattern in self.boot_patterns:
+            return True
+        return False
+
+    def _handle_discover_reply(self, src: int, packet: Packet) -> None:
+        state = self._discovers.get(packet.query_token)
+        if state is None:
+            return
+        state.mids.add(packet.reply_mid)
+
+    def _discover_done(self, token: int) -> None:
+        state = self._discovers.pop(token, None)
+        if state is None:
+            return
+        record = state.record
+        if not record.open:
+            return
+        record.state = RequestState.COMPLETED
+        record.completion_status = RequestStatus.COMPLETED
+        data = mids_to_bytes(sorted(state.mids))
+        taken = record.get_buffer.write(data)
+        event = HandlerEvent(
+            reason=HandlerReason.REQUEST_COMPLETE,
+            asker=RequesterSignature(self.mid, record.tid),
+            status=RequestStatus.COMPLETED,
+            arg=0,
+            taken_get=taken,
+        )
+        self._deliver_completion(event)
+
+    # ==================================================================
+    # reserved patterns: boot / load / kill / system (§3.5)
+    # ==================================================================
+
+    def _handle_reserved_request(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        pattern = packet.pattern
+        if pattern == self.kill_pattern:
+            self._kernel_accept(src, packet)
+            self._kill_client()
+            return
+        if pattern in self.boot_patterns:
+            if not self._boot_active:
+                conn.send_nack(NackCode.UNADVERTISED, tid=packet.tid)
+                return
+            self._begin_load(src, packet)
+            return
+        if self._load is not None and pattern == self._load.load_pattern:
+            self._handle_load_request(src, packet)
+            return
+        if pattern == SYSTEM_PATTERN:
+            self._handle_system_request(src, packet, conn)
+            return
+        if (
+            pattern == KERNEL_RMR_PATTERN
+            and self.config.kernel_rmr
+            and self.rmr_memory is not None
+        ):
+            self._handle_kernel_rmr(src, packet, conn)
+            return
+        conn.send_nack(NackCode.UNADVERTISED, tid=packet.tid)
+
+    def _handle_kernel_rmr(self, src: int, packet: Packet, conn: Connection) -> None:
+        """§6.17.2: PEEK (GET) / POKE (PUT) served by the kernel.
+
+        Unlike other reserved patterns, CLOSE gates access — that is the
+        synchronization mechanism the paper proposes for protecting
+        critical sections against remote references.
+        """
+        if not self.handler_open:
+            # CLOSEd: REJECT so the requester retries with a fresh
+            # REQUEST (carrying its data again); a transport-level BUSY
+            # here would strip POKE data from the retransmission.
+            self._kernel_reject(src, packet)
+            return
+        memory = self.rmr_memory
+        address = packet.arg
+        if address < 0 or address > len(memory):
+            self._kernel_reject(src, packet)
+            return
+        if packet.put_size > 0:
+            # POKE: install the bytes (they rode with the REQUEST).
+            data = packet.data or b""
+            nbytes = min(len(data), len(memory) - address)
+            memory[address : address + nbytes] = data[:nbytes]
+            self.ledger.charge(
+                "protocol", self.config.timing.copy_cost_us(nbytes)
+            )
+            self._kernel_accept(src, packet)
+        else:
+            nbytes = min(packet.get_size, len(memory) - address)
+            chunk = bytes(memory[address : address + nbytes])
+            self.ledger.charge(
+                "protocol", self.config.timing.copy_cost_us(nbytes)
+            )
+            self._kernel_accept(src, packet, data=chunk)
+
+    def client_register_rmr_memory(self, memory: bytearray) -> None:
+        """Expose client memory to the kernel RMR handler (§6.17.2)."""
+        if not self.config.kernel_rmr:
+            raise SodaError("kernel_rmr is disabled in this configuration")
+        self.rmr_memory = memory
+
+    def _begin_load(self, src: int, packet: Packet) -> None:
+        # GET on a boot pattern: mint a LOAD pattern, make it reserved,
+        # retire the boot patterns, and hand the load pattern back.
+        load_pattern = (
+            self.uidgen.next_pattern() | (1 << 47)
+        )  # convert to a RESERVED pattern (§3.5.2)
+        self._load = LoadState(load_pattern=load_pattern, parent_mid=src)
+        self._boot_active = False
+        self.sim.trace.record(
+            self.sim.now, "kernel.boot_granted", mid=self.mid, parent=src
+        )
+        self._kernel_accept(src, packet, data=pattern_to_bytes(load_pattern))
+
+    def _handle_load_request(self, src: int, packet: Packet) -> None:
+        load = self._load
+        assert load is not None
+        if packet.put_size > 0:
+            # A PUT of core-image bytes (possibly carrying the simulated
+            # ProgramImage object).
+            if packet.image is not None:
+                load.image = packet.image
+            load.bytes_received += packet.put_size
+            self._kernel_accept(src, packet)
+            return
+        # A SIGNAL: first one starts the client, the second kills it.
+        if not load.started:
+            load.started = True
+            self._kernel_accept(src, packet)
+            self._start_loaded_client(load)
+        else:
+            self._kernel_accept(src, packet)
+            self._kill_client()
+
+    def _start_loaded_client(self, load: LoadState) -> None:
+        if self.node is None:
+            raise SodaError("kernel has no node; cannot start booted clients")
+        self.sim.trace.record(
+            self.sim.now, "kernel.boot_start", mid=self.mid, parent=load.parent_mid
+        )
+        self.node.start_booted_client(load.image, load.parent_mid)
+
+    def _handle_system_request(
+        self, src: int, packet: Packet, conn: Connection
+    ) -> None:
+        # Only machine 0 may alter reserved patterns (§3.5.4).
+        if src != 0:
+            conn.send_nack(NackCode.UNADVERTISED, tid=packet.tid)
+            return
+        action = packet.arg
+        if action == SYSTEM_ADD_BOOT and packet.data:
+            pattern = pattern_from_bytes(packet.data)
+            if pattern not in self.boot_patterns:
+                self.boot_patterns.append(pattern)
+        elif action == SYSTEM_DELETE_BOOT and packet.data:
+            pattern = pattern_from_bytes(packet.data)
+            if pattern in self.boot_patterns:
+                self.boot_patterns.remove(pattern)
+        elif action == SYSTEM_REPLACE_KILL and packet.data:
+            self.kill_pattern = pattern_from_bytes(packet.data)
+        else:
+            self._kernel_reject(src, packet)
+            return
+        self._kernel_accept(src, packet)
+
+    def _kernel_accept(
+        self, src: int, packet: Packet, arg: int = 0, data: Optional[bytes] = None
+    ) -> None:
+        """Complete a REQUEST kernel-side (reserved patterns)."""
+        conn = self._conn(src)
+        taken_get = min(len(data) if data else 0, packet.get_size)
+        reply = Packet(
+            PacketType.ACCEPT,
+            tid=packet.tid,
+            arg=arg,
+            data=data[:taken_get] if data and taken_get else None,
+            taken_put=packet.put_size,
+            taken_get=taken_get,
+        )
+        conn.enqueue(OutboundMessage(reply, "accept"))
+
+    def _kernel_reject(self, src: int, packet: Packet) -> None:
+        self._kernel_accept(src, packet, arg=-1)
+
+    # ==================================================================
+    # client lifecycle
+    # ==================================================================
+
+    def attach_client(self, client: ClientProcessor) -> None:
+        if self.client is not None and not self.client.dead:
+            raise SodaError("node already has a live client")
+        self.client = client
+        self._boot_active = False
+        self._tid_watermark = self.uidgen.counter
+        self.handler_open = False
+        self._handler_busy = False
+        self._pending_handler_open = None
+
+    def note_client_started(self) -> None:
+        self.handler_open = True
+
+    def client_die(self) -> None:
+        """DIE: reset kernel state; the node becomes bootable again."""
+        self.sim.trace.record(self.sim.now, "kernel.die", mid=self.mid)
+        self._kill_client()
+
+    def _kill_client(self) -> None:
+        if self.client is not None:
+            self.client.kill()
+        self.client = None
+        self._reset_client_state()
+
+    def _reset_client_state(self) -> None:
+        # Every TID issued so far belongs to the dead incarnation; an
+        # ACCEPT naming one must be answered CRASHED, not CANCELLED
+        # (§3.6.1 "stale" ACCEPTs).
+        self._tid_watermark = self.uidgen.counter
+        self.patterns.clear()
+        self.completion_queue.clear()
+        for record in list(self.requests.values()):
+            self._stop_probing(record)
+            record.state = RequestState.CANCELLED
+        self.requests.clear()
+        self.delivered.clear()
+        for pending in list(self.pending_accepts.values()):
+            if not pending.resolved:
+                pending.resolved = True  # futures belong to the dead client
+        self.pending_accepts.clear()
+        if self.held is not None:
+            held = self.held
+            self.held = None
+            if held.timer is not None:
+                held.timer.cancel()
+            self._conn(held.src).rollback_sequenced(held.packet)
+            self._conn(held.src).forget_owed_ack(held.packet.seq)
+        self.handler_open = False
+        self._handler_busy = False
+        self._pending_handler_open = None
+        self._load = None
+        self._boot_active = True
+        self.rmr_memory = None
+
+    # -- full node crash -----------------------------------------------------
+
+    def crash_node(self) -> None:
+        """Power failure: client and kernel state are lost; after the
+        Delta-t quiet period the node may rejoin (§5.2.2)."""
+        self._kill_client()
+        for conn in self.connections.values():
+            conn.reset()
+        self.connections.clear()
+        self._discovers.clear()
+        quiet = self.config.deltat.crash_quiet_us
+        self.offline_until = self.sim.now + quiet
+        self.sim.trace.record(
+            self.sim.now, "kernel.crash", mid=self.mid, quiet_us=quiet
+        )
+        self.sim.schedule(quiet, self._recover)
+
+    def _recover(self) -> None:
+        self.offline_until = None
+        self.uidgen.reboot(self.uidgen.counter + 1)
+        self._boot_active = self.client is None
+        self.sim.trace.record(self.sim.now, "kernel.recovered", mid=self.mid)
+
+    def __repr__(self) -> str:
+        return f"<SodaKernel mid={self.mid} {self.machine_type}>"

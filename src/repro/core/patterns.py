@@ -1,0 +1,166 @@
+"""Patterns and the pattern table (§3.4, §5.4).
+
+A pattern is a PATTERNSIZE-bit string.  Two class bits partition the
+space:
+
+* bit 47 — RESERVED: bound to kernel routines (BOOT/LOAD/KILL/SYSTEM);
+  clients can neither ADVERTISE nor UNADVERTISE these.
+* bit 46 — WELL-KNOWN: preassigned names with defined fields.
+
+GETUNIQUEID returns 40-bit values (``serial(8) ‖ counter(32)``), so bits
+40-47 are zero and unique ids can never collide with either class above —
+this is the paper's "reserving a bit in the pattern" protocol.
+
+The experimental kernel (§5.4) lacked associative hardware and used the
+pattern's low byte as a direct index into a 256-slot table, with the
+documented quirk that advertising two patterns sharing that byte makes the
+second overwrite the first.  (The paper says "first eight bits"; we index
+by the *low* byte because GETUNIQUEID values vary there — indexing by the
+high byte would put every unique id in one slot, which cannot have been
+the intent.)  :class:`PatternTable` implements both the ideal exact-match
+semantics and the direct-index variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Number of bits in a pattern.
+PATTERNSIZE = 48
+
+#: Bits returned by GETUNIQUEID ("less than PATTERNSIZE", §3.4.2).
+UNIQUEID_BITS = 40
+
+#: Address wildcard for DISCOVER (mirrors repro.net.BROADCAST_MID).
+BROADCAST = -1
+
+_RESERVED_BIT = 1 << 47
+_WELL_KNOWN_BIT = 1 << 46
+_PATTERN_MASK = (1 << PATTERNSIZE) - 1
+
+#: A pattern is represented as a plain int in [0, 2**48).
+Pattern = int
+
+
+def make_well_known_pattern(value: int) -> Pattern:
+    """A preassigned, publishable client pattern (bit 46 set)."""
+    if not 0 <= value < _WELL_KNOWN_BIT:
+        raise ValueError(f"well-known value out of range: {value}")
+    return _WELL_KNOWN_BIT | value
+
+
+def make_reserved_pattern(value: int) -> Pattern:
+    """A kernel-interpreted pattern (bit 47 set)."""
+    if not 0 <= value < _RESERVED_BIT:
+        raise ValueError(f"reserved value out of range: {value}")
+    return (_RESERVED_BIT | value) & _PATTERN_MASK
+
+
+def is_reserved(pattern: Pattern) -> bool:
+    return bool(pattern & _RESERVED_BIT)
+
+
+def is_well_known(pattern: Pattern) -> bool:
+    return bool(pattern & _WELL_KNOWN_BIT) and not is_reserved(pattern)
+
+
+def is_unique_id(pattern: Pattern) -> bool:
+    return 0 <= pattern < (1 << UNIQUEID_BITS)
+
+
+class UniqueIdGenerator:
+    """Network-wide unique 40-bit patterns (§5.4).
+
+    Concatenates an 8-bit machine serial number with a 32-bit counter.
+    The counter's initial value is set at each kernel boot from a
+    monotonic clock so that ids never repeat across reboots; the boot
+    marker doubles as the stale-TID watermark used to detect ACCEPTs of
+    requests issued before a crash.
+    """
+
+    COUNTER_BITS = 32
+
+    def __init__(self, serial: int, boot_counter: int = 0) -> None:
+        if not 0 <= serial < 256:
+            raise ValueError("serial must fit in 8 bits")
+        if not 0 <= boot_counter < (1 << self.COUNTER_BITS):
+            raise ValueError("boot_counter must fit in 32 bits")
+        self.serial = serial
+        self._counter = boot_counter
+        self.boot_counter = boot_counter
+
+    def reboot(self, boot_counter: int) -> None:
+        """Restart the counter at a fresh monotonic value."""
+        if boot_counter < self._counter:
+            raise ValueError("boot counter must be monotonic")
+        self._counter = boot_counter
+        self.boot_counter = boot_counter
+
+    def next_pattern(self) -> Pattern:
+        if self._counter >= (1 << self.COUNTER_BITS):
+            raise OverflowError("unique-id counter exhausted")
+        pattern = (self.serial << self.COUNTER_BITS) | self._counter
+        self._counter += 1
+        return pattern
+
+    def next_tid(self) -> int:
+        """TIDs come from the same counter as patterns (§5.4)."""
+        if self._counter >= (1 << self.COUNTER_BITS):
+            raise OverflowError("tid counter exhausted")
+        tid = self._counter
+        self._counter += 1
+        return tid
+
+    @property
+    def counter(self) -> int:
+        return self._counter
+
+
+class PatternTable:
+    """Advertised client patterns for one kernel."""
+
+    SLOTS = 256
+
+    def __init__(self, direct_index: bool = False) -> None:
+        self.direct_index = direct_index
+        self._exact: set = set()
+        self._slots: List[Optional[Pattern]] = [None] * self.SLOTS
+
+    @staticmethod
+    def _slot_of(pattern: Pattern) -> int:
+        return pattern & 0xFF
+
+    def advertise(self, pattern: Pattern) -> None:
+        if is_reserved(pattern):
+            raise ValueError("clients may not advertise RESERVED patterns")
+        if not 0 <= pattern <= _PATTERN_MASK:
+            raise ValueError(f"pattern out of range: {pattern}")
+        if self.direct_index:
+            self._slots[self._slot_of(pattern)] = pattern
+        else:
+            self._exact.add(pattern)
+
+    def unadvertise(self, pattern: Pattern) -> None:
+        if is_reserved(pattern):
+            raise ValueError("clients may not unadvertise RESERVED patterns")
+        if self.direct_index:
+            slot = self._slot_of(pattern)
+            if self._slots[slot] == pattern:
+                self._slots[slot] = None
+        else:
+            self._exact.discard(pattern)
+
+    def matches(self, pattern: Pattern) -> bool:
+        if self.direct_index:
+            return self._slots[self._slot_of(pattern)] == pattern
+        return pattern in self._exact
+
+    def clear(self) -> None:
+        """Drop all client patterns (DIE / crash)."""
+        self._exact.clear()
+        self._slots = [None] * self.SLOTS
+
+    def advertised(self) -> List[Pattern]:
+        if self.direct_index:
+            return sorted(p for p in self._slots if p is not None)
+        return sorted(self._exact)

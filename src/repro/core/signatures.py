@@ -1,0 +1,35 @@
+"""Naming: server and requester signatures (§3.7.2).
+
+* A **SERVER SIGNATURE** ``<MID, PATTERN>`` names an entry point.
+* A **REQUESTER SIGNATURE** ``<MID, TID>`` uniquely identifies one request
+  across all time throughout the network and is the "return address" an
+  ACCEPT must present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.patterns import Pattern
+
+
+@dataclass(frozen=True, order=True)
+class ServerSignature:
+    """<MID, PATTERN>: the destination named in a REQUEST."""
+
+    mid: int
+    pattern: Pattern
+
+    def __repr__(self) -> str:
+        return f"<{self.mid},%{self.pattern:o}>"
+
+
+@dataclass(frozen=True, order=True)
+class RequesterSignature:
+    """<MID, TID>: the network-unique identity of one REQUEST."""
+
+    mid: int
+    tid: int
+
+    def __repr__(self) -> str:
+        return f"<{self.mid},#{self.tid}>"

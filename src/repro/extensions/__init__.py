@@ -1,0 +1,37 @@
+"""The primitives SODA deliberately left out (§6.17), as extensions.
+
+The paper argues each of these belongs in library code or, where kernel
+support would pay, sketches how it would look.  We provide both flavors
+where the paper does:
+
+* :mod:`repro.extensions.multicast` — reliable multicast to a process
+  group as a library of individual reliable REQUESTs (§6.17.1);
+* :mod:`repro.extensions.kernel_rmr` — client helpers for the
+  kernel-serviced PEEK/POKE handler (§6.17.2; enable with
+  ``KernelConfig(kernel_rmr=True)``);
+* :mod:`repro.extensions.multipacket` — arbitrarily long transfers
+  packetized and reassembled above the fixed message maximum (§6.17.4);
+* :mod:`repro.extensions.bidding` — load-aware server selection over
+  DISCOVER (§6.17.5).
+"""
+
+from repro.extensions.bidding import BiddingServerMixin, discover_least_loaded
+from repro.extensions.kernel_rmr import kernel_peek, kernel_poke
+from repro.extensions.multicast import ProcessGroup, multicast_put
+from repro.extensions.multipacket import (
+    BlockAssembler,
+    BlockReceiverMixin,
+    put_block,
+)
+
+__all__ = [
+    "BiddingServerMixin",
+    "BlockAssembler",
+    "BlockReceiverMixin",
+    "ProcessGroup",
+    "discover_least_loaded",
+    "kernel_peek",
+    "kernel_poke",
+    "multicast_put",
+    "put_block",
+]

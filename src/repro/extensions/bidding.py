@@ -1,0 +1,85 @@
+"""Bidding: load-aware server selection (§6.17.5).
+
+"DISCOVER returns a list of potential servers however and there is no
+way to discriminate among the members of the list.  By allowing the
+client to ADVERTISE values which are returned as part of a broadcast
+REQUEST along with MIDS, a server could indicate how busy it is."
+
+SODA's kernel does not carry bid values (we keep it faithful), so this
+library realizes bidding one level up: bidding servers also answer a
+one-word GET on a *bid pattern* with their current load; the selector
+DISCOVERs the service pattern, collects bids in parallel-ish fashion,
+and picks the least-loaded member.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Tuple
+
+from repro.core.buffers import Buffer
+from repro.core.errors import RequestStatus
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import ServerSignature
+
+#: Well-known entry point where bidding servers report their load.
+BID_PATTERN: Pattern = make_well_known_pattern(0o210)
+
+
+class BiddingServerMixin:
+    """Program mixin: advertise a service and answer load queries.
+
+    Subclasses set ``service_pattern`` and keep ``self.current_load``
+    up to date (any non-negative int; lower = less busy).
+    """
+
+    service_pattern = None
+    current_load = 0
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(self.service_pattern)
+        yield from api.advertise(BID_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival and event.pattern == BID_PATTERN:
+            yield from api.accept_current_get(
+                put=struct.pack(">I", max(0, int(self.current_load)))
+            )
+            return
+        handled = yield from self.service_handler(api, event)
+
+    def service_handler(self, api, event) -> Generator:
+        """Override: handle arrivals on the service pattern."""
+        return False
+        yield  # pragma: no cover
+
+
+def collect_bids(
+    api, pattern: Pattern, max_members: int = 16
+) -> Generator:
+    """DISCOVER + per-member load query; returns [(load, mid), ...]."""
+    mids = yield from api.discover_all(pattern, max_replies=max_members)
+    bids: List[Tuple[int, int]] = []
+    for mid in mids:
+        buf = Buffer(4)
+        completion = yield from api.b_get(
+            ServerSignature(mid, BID_PATTERN), get=buf
+        )
+        if completion.status is RequestStatus.COMPLETED and len(buf.data) == 4:
+            bids.append((struct.unpack(">I", buf.data)[0], mid))
+        # A member that answers no bid is simply not considered.
+    return sorted(bids)
+
+
+def discover_least_loaded(
+    api, pattern: Pattern, max_members: int = 16
+) -> Generator:
+    """Pick the least-loaded server advertising ``pattern``.
+
+    Returns a ServerSignature, or None when nothing answered.
+    """
+    bids = yield from collect_bids(api, pattern, max_members=max_members)
+    if not bids:
+        return None
+    _load, mid = bids[0]
+    return ServerSignature(mid, pattern)

@@ -1,0 +1,97 @@
+"""Reliable multicast as a library (§6.17.1).
+
+"In SODA, if a client wishes to send a message reliably to several sites
+in a group, it must issue a separate REQUEST to each site."  This module
+does exactly that, pipelining up to MAXREQUESTS sends and reporting
+per-member outcomes; plus a small process-group helper built on shared
+patterns and DISCOVER (§6.12's "support of process groups").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence
+
+from repro.core.errors import RequestStatus
+from repro.core.patterns import Pattern
+from repro.core.signatures import ServerSignature
+
+
+@dataclass
+class MulticastResult:
+    """Per-member outcome of one multicast."""
+
+    statuses: Dict[int, RequestStatus] = field(default_factory=dict)
+
+    @property
+    def delivered_to(self) -> List[int]:
+        return sorted(
+            mid
+            for mid, status in self.statuses.items()
+            if status is RequestStatus.COMPLETED
+        )
+
+    @property
+    def failed_members(self) -> List[int]:
+        return sorted(
+            mid
+            for mid, status in self.statuses.items()
+            if status is not RequestStatus.COMPLETED
+        )
+
+    @property
+    def all_delivered(self) -> bool:
+        return not self.failed_members
+
+
+def multicast_put(
+    api,
+    members: Sequence[ServerSignature],
+    data,
+    arg: int = 0,
+) -> Generator:
+    """Reliably PUT ``data`` to every member; returns a MulticastResult.
+
+    Sends are pipelined in batches bounded by the kernel's MAXREQUESTS
+    so several transfers overlap on the wire.
+    """
+    result = MulticastResult()
+    window = max(1, api.kernel.config.max_requests)
+    members = list(members)
+    for start in range(0, len(members), window):
+        batch = members[start : start + window]
+        watched = []
+        for member in batch:
+            tid = yield from api.request(member, arg=arg, put=data)
+            watched.append((member, tid, api.watch_completion(tid)))
+        for member, tid, future in watched:
+            completion = yield from api.wait_completion(tid, future)
+            result.statuses[member.mid] = completion.status
+    return result
+
+
+class ProcessGroup:
+    """A named group of cooperating clients (§6.12).
+
+    All members ADVERTISE the same group pattern (typically minted once
+    with GETUNIQUEID and distributed by the group creator); anyone can
+    then enumerate the group with DISCOVER and multicast to it.
+    """
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+
+    def join(self, api) -> Generator:
+        yield from api.advertise(self.pattern)
+
+    def leave(self, api) -> Generator:
+        yield from api.unadvertise(self.pattern)
+
+    def members(self, api, max_members: int = 16) -> Generator:
+        mids = yield from api.discover_all(self.pattern, max_replies=max_members)
+        return [ServerSignature(mid, self.pattern) for mid in mids]
+
+    def multicast(self, api, data, arg: int = 0, max_members: int = 16) -> Generator:
+        members = yield from self.members(api, max_members=max_members)
+        result = yield from multicast_put(api, members, data, arg=arg)
+        return result

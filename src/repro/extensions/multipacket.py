@@ -1,0 +1,131 @@
+"""Multipacket transfers: blocks larger than the message maximum (§6.17.4).
+
+"Arbitrarily long transmissions are supportable by higher-level
+protocols that packetize and reassemble large blocks of data."  The
+sender splits a block into chunks of at most the kernel's fixed message
+maximum, tagging each REQUEST argument with ``(block_id << 16) | index``
+and using the buffer sizes to delimit; the receiver reassembles per
+(sender, block).  Per-sender ordering (§3.3.2) means no sequence gaps
+within a block, so reassembly is a simple append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.buffers import Buffer
+from repro.core.errors import AcceptStatus, RequestStatus, SodaError
+from repro.core.signatures import ServerSignature
+
+#: Argument encoding: high bits block id, low 12 bits chunk index, top
+#: bit of the index field marks the final chunk.
+_INDEX_BITS = 12
+_FINAL_FLAG = 1 << _INDEX_BITS
+
+
+def _encode_arg(block_id: int, index: int, final: bool) -> int:
+    if index >= _FINAL_FLAG:
+        raise SodaError("block too long for the chunk-index encoding")
+    return (block_id << (_INDEX_BITS + 1)) | index | (_FINAL_FLAG if final else 0)
+
+
+def _decode_arg(arg: int) -> Tuple[int, int, bool]:
+    block_id = arg >> (_INDEX_BITS + 1)
+    index = arg & (_FINAL_FLAG - 1)
+    final = bool(arg & _FINAL_FLAG)
+    return block_id, index, final
+
+
+def put_block(
+    api,
+    server: ServerSignature,
+    data: bytes,
+    block_id: int = 1,
+    chunk_bytes: Optional[int] = None,
+) -> Generator:
+    """Reliably ship a block of any size; returns the number of chunks."""
+    limit = api.kernel.config.max_message_bytes
+    chunk_bytes = min(chunk_bytes or limit, limit)
+    if chunk_bytes <= 0:
+        raise SodaError("chunk size must be positive")
+    chunks = [
+        data[offset : offset + chunk_bytes]
+        for offset in range(0, len(data), chunk_bytes)
+    ] or [b""]
+    for index, chunk in enumerate(chunks):
+        final = index == len(chunks) - 1
+        completion = yield from api.b_put(
+            server, arg=_encode_arg(block_id, index, final), put=chunk
+        )
+        if completion.status is not RequestStatus.COMPLETED:
+            raise SodaError(
+                f"block transfer failed at chunk {index}: "
+                f"{completion.status.value}"
+            )
+    return len(chunks)
+
+
+@dataclass
+class _PartialBlock:
+    chunks: list = field(default_factory=list)
+    next_index: int = 0
+
+
+class BlockAssembler:
+    """Server-side reassembly of multipacket blocks.
+
+    Call :meth:`handle_arrival` from the handler for arrivals on the
+    block pattern; completed blocks land in :attr:`completed` as
+    ``(sender_mid, block_id, data)`` tuples.
+    """
+
+    def __init__(self, max_chunk: int = 65536) -> None:
+        self.max_chunk = max_chunk
+        self._partial: Dict[Tuple[int, int], _PartialBlock] = {}
+        self.completed: list = []
+
+    def handle_arrival(self, api, event) -> Generator:
+        block_id, index, final = _decode_arg(event.arg)
+        key = (event.asker.mid, block_id)
+        partial = self._partial.setdefault(key, _PartialBlock())
+        if index != partial.next_index:
+            # Out-of-sequence chunk: a stale retry of a finished block or
+            # a protocol error; reject it.
+            yield from api.reject()
+            return
+        buf = Buffer(min(event.put_size, self.max_chunk))
+        status = yield from api.accept_current_put(get=buf)
+        if status is not AcceptStatus.SUCCESS:
+            return
+        partial.chunks.append(buf.data)
+        partial.next_index += 1
+        if final:
+            del self._partial[key]
+            self.completed.append(
+                (event.asker.mid, block_id, b"".join(partial.chunks))
+            )
+
+
+class BlockReceiverMixin:
+    """Drop-in program mixin: advertise a pattern, collect blocks.
+
+    Subclasses set ``block_pattern`` and may override
+    :meth:`on_block(sender_mid, block_id, data)`.
+    """
+
+    block_pattern = None
+
+    def initialization(self, api, parent_mid):
+        self.assembler = BlockAssembler()
+        yield from api.advertise(self.block_pattern)
+
+    def handler(self, api, event):
+        if event.is_arrival and event.pattern == self.block_pattern:
+            before = len(self.assembler.completed)
+            yield from self.assembler.handle_arrival(api, event)
+            for entry in self.assembler.completed[before:]:
+                self.on_block(*entry)
+
+    def on_block(self, sender_mid: int, block_id: int, data: bytes) -> None:
+        """Override to consume completed blocks."""

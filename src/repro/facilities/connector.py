@@ -1,0 +1,228 @@
+"""Connection methods (§4.3.1): the connector and the switchboard.
+
+Three ways clients obtain entry points:
+
+* **compile-time**: well-known patterns plus broadcast DISCOVER — that is
+  the core library's default path;
+* **load-time**: a **connector** process "loads processes on different
+  machines and establishes communications paths between processes": it
+  boots the right number of machines, mints a fresh GETUNIQUEID pattern
+  per declared connection, and patches each client's core image with the
+  specific signatures it should use ("a linkage editor which ... links
+  modules loosely together by establishing entry points used for
+  intermodule communication");
+* **run-time**: a **switchboard** process interrogated while running.
+
+The simulated equivalent of "modifying the core image" is constructing
+each program from a factory that receives its :class:`Wiring` — the
+patterns it must advertise and the signatures of its declared peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Sequence, Tuple
+
+from repro.core.boot import ProgramImage, boot_pattern_for
+from repro.core.client import ClientProgram
+from repro.core.errors import SodaError
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import ServerSignature
+
+
+# ======================================================================
+# the connector (load-time interconnection)
+# ======================================================================
+
+
+@dataclass
+class Wiring:
+    """What the connector patched into one module's core image."""
+
+    #: Patterns this module must ADVERTISE (it is the target of these
+    #: connections).
+    exports: List[Pattern] = field(default_factory=list)
+    #: Peer-name -> the signature to use when talking to that peer.
+    peers: Dict[str, ServerSignature] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSpec:
+    """One module in the connector's specification file."""
+
+    name: str
+    #: fn(wiring) -> ClientProgram; the wiring stands in for core-image
+    #: patching.
+    factory: Callable[[Wiring], ClientProgram]
+    machine_type: str = "generic"
+    image_bytes: int = 4096
+
+
+class ConnectedProgram(ClientProgram):
+    """Convenience base: advertises its wiring's exports at boot.
+
+    Subclasses receive ``wiring`` and may use ``self.wiring.peers`` in
+    their task/handler; override :meth:`setup` for extra initialization.
+    """
+
+    def __init__(self, wiring: Wiring):
+        self.wiring = wiring
+
+    def initialization(self, api, parent_mid):
+        for pattern in self.wiring.exports:
+            yield from api.advertise(pattern)
+        extra = self.setup(api)
+        if extra is not None:
+            yield from extra
+
+    def setup(self, api):
+        """Optional extra initialization (may be a generator)."""
+        return None
+
+
+def run_connector(
+    api,
+    modules: Sequence[ModuleSpec],
+    connections: Sequence[Tuple[str, str]],
+) -> Generator:
+    """Boot every module and wire the declared connections (§4.3.1).
+
+    ``connections`` are ``(from_name, to_name)`` pairs; for each, a fresh
+    unique pattern is minted, exported at ``to`` and handed to ``from``
+    as ``wiring.peers[to_name]``.  Returns {module name -> MID}.
+    """
+    by_name = {spec.name: spec for spec in modules}
+    for frm, to in connections:
+        if frm not in by_name or to not in by_name:
+            raise SodaError(f"connection names unknown module: {frm}->{to}")
+    # 1. Obtain a machine for every module (boot pattern GET reserves it).
+    claimed: Dict[str, ServerSignature] = {}
+    used_mids = set()
+    for spec in modules:
+        boot_pattern = boot_pattern_for(spec.machine_type)
+        target = None
+        for _attempt in range(50):
+            mids = yield from api.discover_all(boot_pattern, max_replies=16)
+            free = [m for m in mids if m not in used_mids]
+            if free:
+                target = ServerSignature(free[0], boot_pattern)
+                break
+            yield api.compute(10_000)
+        if target is None:
+            raise SodaError(
+                f"no free {spec.machine_type!r} machine for {spec.name!r}"
+            )
+        used_mids.add(target.mid)
+        claimed[spec.name] = target
+    # 2. Mint a pattern per connection; build each module's wiring.
+    wirings: Dict[str, Wiring] = {spec.name: Wiring() for spec in modules}
+    for frm, to in connections:
+        pattern = yield from api.getuniqueid()
+        wirings[to].exports.append(pattern)
+        wirings[frm].peers[to] = ServerSignature(claimed[to].mid, pattern)
+    # 3. Load every patched image first, start only afterwards (and in
+    # reverse declaration order), so that by the time earlier-declared
+    # modules run their tasks, later-declared ones have advertised.
+    # Cyclic topologies still need retry loops in the modules themselves.
+    mids: Dict[str, int] = {}
+    load_sigs: Dict[str, ServerSignature] = {}
+    for spec in modules:
+        wiring = wirings[spec.name]
+        image = ProgramImage(
+            spec.name,
+            (lambda s=spec, w=wiring: s.factory(w)),
+            size_bytes=spec.image_bytes,
+        )
+        load_sigs[spec.name] = yield from api.boot_node(
+            claimed[spec.name], image, start=False
+        )
+        mids[spec.name] = claimed[spec.name].mid
+    for spec in reversed(modules):
+        yield from api.boot_start(load_sigs[spec.name])
+    return mids
+
+
+# ======================================================================
+# the switchboard (run-time interconnection)
+# ======================================================================
+
+#: A reply cannot depend on the same EXCHANGE's put data (§3.3.2 rule 2:
+#: "There is no way for a server to inspect the first buffer before
+#: sending the second in a single ACCEPT"), so the switchboard speaks
+#: the PUT-then-GET remote-procedure protocol of §4.2.2.
+SWITCHBOARD_REGISTER: Pattern = make_well_known_pattern(0o470)
+SWITCHBOARD_LOOKUP: Pattern = make_well_known_pattern(0o471)
+
+
+def _encode_entry(sig: ServerSignature) -> bytes:
+    return sig.mid.to_bytes(2, "big") + int(sig.pattern).to_bytes(6, "big")
+
+
+def _decode_entry(data: bytes) -> ServerSignature:
+    return ServerSignature(
+        int.from_bytes(data[:2], "big"), int.from_bytes(data[2:8], "big")
+    )
+
+
+class Switchboard(ClientProgram):
+    """A name service: REGISTER and LOOKUP as remote procedures."""
+
+    def __init__(self):
+        from repro.facilities.rpc import RpcServer
+
+        self.directory: Dict[bytes, ServerSignature] = {}
+        self._rpc = RpcServer(
+            {
+                SWITCHBOARD_REGISTER: self._register,
+                SWITCHBOARD_LOOKUP: self._lookup,
+            }
+        )
+
+    def _register(self, params: bytes) -> bytes:
+        name, entry = params[:-8], params[-8:]
+        self.directory[name] = _decode_entry(entry)
+        return b"\x01"
+
+    def _lookup(self, params: bytes) -> bytes:
+        entry = self.directory.get(params)
+        return _encode_entry(entry) if entry is not None else b""
+
+    def initialization(self, api, parent_mid):
+        yield from self._rpc.initialization(api, parent_mid)
+
+    def handler(self, api, event):
+        yield from self._rpc.handler(api, event)
+
+    def task(self, api):
+        yield from self._rpc.task(api)
+
+
+def register_service(
+    api, switchboard_mid: int, name, sig: ServerSignature
+) -> Generator:
+    """Publish ``name -> sig`` at the switchboard."""
+    from repro.facilities.rpc import rpc_call
+
+    payload = bytes(name) + _encode_entry(sig)
+    result = yield from rpc_call(
+        api, ServerSignature(switchboard_mid, SWITCHBOARD_REGISTER), payload, 1
+    )
+    if result != b"\x01":
+        raise SodaError("register failed")
+
+
+def lookup_service(
+    api, switchboard_mid: int, name, retries: int = 30
+) -> Generator:
+    """Resolve ``name``; retries until registered.  Returns a signature."""
+    from repro.facilities.rpc import rpc_call
+
+    for _attempt in range(retries):
+        result = yield from rpc_call(
+            api, ServerSignature(switchboard_mid, SWITCHBOARD_LOOKUP),
+            bytes(name), 8,
+        )
+        if len(result) == 8:
+            return _decode_entry(result)
+        yield api.compute(10_000)
+    raise SodaError(f"lookup of {name!r} failed")

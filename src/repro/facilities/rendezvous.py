@@ -1,0 +1,220 @@
+"""Symmetric rendezvous: CSP with output guards via Bernstein's algorithm
+(§4.2.5).
+
+Each CSP process advertises a name pattern and is in one of three states:
+
+* ACTIVE — executing ordinary statements;
+* QUERYING — evaluating an alternative command, probing its output
+  guards one at a time with blocking PUTs ("queries");
+* WAITING — all output guards probed without success; parked until an
+  incoming query matches one of its input guards.
+
+The deadlock-avoidance rule: a process that receives a query while
+itself QUERYING *delays* the querier if its own MID is larger (the
+querier blocks), and REJECTS it otherwise.  Cycles of queries therefore
+always contain at least one rejection, which unblocks the cycle; the
+rejected process then accepts a delayed query if one matches an input
+guard.  See the paper's worked example (P1, P2, P3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.core.buffers import Buffer
+from repro.core.errors import RequestStatus
+from repro.core.patterns import Pattern
+from repro.core.signatures import ServerSignature
+from repro.sodal.queueing import Queue
+
+
+class CspState(enum.Enum):
+    ACTIVE = "active"
+    QUERYING = "querying"
+    WAITING = "waiting"
+
+
+@dataclass
+class CspGuard:
+    """One guarded command of an alternative command.
+
+    Exactly one of the three shapes:
+
+    * pure: neither input nor output command (``peer is None``);
+    * output guard: ``peer`` names the partner, ``value`` is sent;
+    * input guard: ``peer`` names the acceptable source MID (or None for
+      any), ``capacity`` sizes the receive buffer.
+
+    ``msg_type`` is the type tag both sides must agree on (the paper
+    matches on the types of the communicated objects).  ``condition`` is
+    the boolean part of the guard.
+    """
+
+    kind: str  # "pure" | "output" | "input"
+    msg_type: int = 0
+    peer: Optional[ServerSignature] = None
+    source_mid: Optional[int] = None
+    value: bytes = b""
+    capacity: int = 64
+    condition: Callable[[], bool] = lambda: True
+
+    #: Filled on an input match.
+    received: Optional[bytes] = None
+
+    def matches_arrival(self, asker_mid: int, msg_type: int) -> bool:
+        if self.kind != "input":
+            return False
+        if self.msg_type != msg_type:
+            return False
+        return self.source_mid is None or self.source_mid == asker_mid
+
+
+class CspProcess:
+    """Bernstein-algorithm engine; embed one per CSP client.
+
+    Handler integration::
+
+        def handler(self, api, event):
+            if (yield from self.csp.handle_arrival(api, event)):
+                return
+
+    Task side: ``yield from self.csp.alternative(api, guards)`` returns
+    the index of the executed guard (or None if all guards failed).
+    """
+
+    def __init__(self, name_pattern: Pattern) -> None:
+        self.name_pattern = name_pattern
+        self.state = CspState.ACTIVE
+        self.query_pending = False
+        self.delayed: Queue = Queue(8)
+        self._active_inputs: List[CspGuard] = []
+        self._matched: Optional[CspGuard] = None
+        self.rendezvous_count = 0
+
+    def install(self, api) -> Generator:
+        yield from api.advertise(self.name_pattern)
+
+    # ------------------------------------------------------------------
+    # handler side
+    # ------------------------------------------------------------------
+
+    def handle_arrival(self, api, event) -> Generator:
+        if not (event.is_arrival and event.pattern == self.name_pattern):
+            return False
+        guard = self._matching_input(event.asker.mid, event.arg)
+        if self.state is CspState.WAITING and guard is not None:
+            buf = Buffer(guard.capacity)
+            yield from api.accept_current_put(get=buf)
+            guard.received = buf.data
+            self._matched = guard
+            self.state = CspState.ACTIVE
+            return True
+        if (
+            self.state is CspState.QUERYING
+            and guard is not None
+            and self.query_pending
+            and api.my_mid > event.asker.mid
+        ):
+            # Delay the lower-MID querier (deadlock-avoidance ordering).
+            yield from api.enqueue(
+                self.delayed, (event.asker, event.arg, event.put_size)
+            )
+            return True
+        yield from api.reject()
+        return True
+
+    def _matching_input(self, asker_mid: int, msg_type: int) -> Optional[CspGuard]:
+        for guard in self._active_inputs:
+            if guard.matches_arrival(asker_mid, msg_type):
+                return guard
+        return None
+
+    # ------------------------------------------------------------------
+    # task side
+    # ------------------------------------------------------------------
+
+    def alternative(self, api, guards: Sequence[CspGuard]) -> Generator:
+        """Evaluate one alternative command; returns the executed guard's
+        index, or None if every guard failed (§4.2.5.1)."""
+        live = [g for g in guards if g.condition()]
+        if not live:
+            return None
+        self.state = CspState.QUERYING
+        self._matched = None
+        self._active_inputs = [g for g in live if g.kind == "input"]
+        try:
+            for guard in live:
+                if guard.kind == "pure":
+                    self.state = CspState.ACTIVE
+                    return guards.index(guard)
+                if guard.kind != "output":
+                    continue
+                self.query_pending = True
+                completion = yield from api.b_put(
+                    guard.peer, arg=guard.msg_type, put=guard.value
+                )
+                self.query_pending = False
+                if completion.status is RequestStatus.COMPLETED:
+                    self.state = CspState.ACTIVE
+                    self.rendezvous_count += 1
+                    return guards.index(guard)
+                if completion.status is RequestStatus.REJECTED:
+                    # Partner unavailable or we lost an ordering race;
+                    # first see whether someone we delayed can serve one
+                    # of our input guards.
+                    matched = yield from self._accept_delayed(api)
+                    if matched is not None:
+                        self.state = CspState.ACTIVE
+                        self.rendezvous_count += 1
+                        return guards.index(matched)
+                    continue
+                # CRASHED/UNADVERTISED: the partner terminated; the guard
+                # fails (the CSP rule for terminated processes).
+                live_inputs = [g for g in self._active_inputs if g is not guard]
+                self._active_inputs = live_inputs
+            if not self._active_inputs:
+                self.state = CspState.ACTIVE
+                return None
+            # Nothing matched among output guards: wait for a query.
+            self.state = CspState.WAITING
+            matched = yield from self._await_match(api)
+            self.rendezvous_count += 1
+            return guards.index(matched)
+        finally:
+            self._active_inputs = []
+            self.state = CspState.ACTIVE
+            # Queries we delayed but never served would block their
+            # senders until our next alternative; reject them so they can
+            # retry (they may find us WAITING next time).
+            yield from self._reject_unserved_delayed(api)
+
+    def _reject_unserved_delayed(self, api) -> Generator:
+        while not self.delayed.is_empty():
+            asker, _msg_type, _put_size = yield from api.dequeue(self.delayed)
+            yield from api.reject(asker)
+
+    def _accept_delayed(self, api) -> Generator:
+        while not self.delayed.is_empty():
+            asker, msg_type, put_size = yield from api.dequeue(self.delayed)
+            guard = self._matching_input(asker.mid, msg_type)
+            if guard is None:
+                # Cannot serve it; reject so the querier unblocks.
+                yield from api.reject(asker)
+                continue
+            buf = Buffer(guard.capacity)
+            yield from api.accept_put(asker, get=buf)
+            guard.received = buf.data
+            return guard
+        return None
+
+    def _await_match(self, api) -> Generator:
+        # A delayed query may already satisfy an input guard.
+        matched = yield from self._accept_delayed(api)
+        if matched is not None:
+            self.state = CspState.ACTIVE
+            return matched
+        yield from api.poll(lambda: self._matched is not None)
+        matched, self._matched = self._matched, None
+        return matched

@@ -1,0 +1,73 @@
+"""Remote memory reference: PEEK and POKE (§4.2.3).
+
+The server establishes a well-known RMR entry point; PEEK is a GET and
+POKE is a PUT, with the REQUEST argument naming the memory address and
+the buffer size giving the transfer length.  Synchronization of critical
+sections is by CLOSE/OPEN or by scheduling ACCEPTs — here the handler
+services each reference atomically (handlers do not nest), which is the
+strongest of those options.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.errors import RequestStatus, SodaError
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import ServerSignature
+
+#: Default well-known RMR entry point.
+RMR_PATTERN: Pattern = make_well_known_pattern(0o520)
+
+
+class MemoryServer(ClientProgram):
+    """Exposes ``size`` bytes of memory for remote PEEK/POKE."""
+
+    def __init__(self, size: int = 4096, pattern: Pattern = RMR_PATTERN):
+        self.memory = bytearray(size)
+        self.pattern = pattern
+        self.peeks = 0
+        self.pokes = 0
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(self.pattern)
+
+    def handler(self, api, event):
+        if not (event.is_arrival and event.pattern == self.pattern):
+            return
+        address = event.arg
+        if address < 0 or address > len(self.memory):
+            yield from api.reject()
+            return
+        if event.put_size > 0:
+            # POKE: install the incoming bytes at `address`.
+            nbytes = min(event.put_size, len(self.memory) - address)
+            buf = Buffer(nbytes)
+            yield from api.accept_current_put(get=buf)
+            self.memory[address : address + len(buf.data)] = buf.data
+            self.pokes += 1
+        else:
+            # PEEK: return `get_size` bytes starting at `address`.
+            nbytes = min(event.get_size, len(self.memory) - address)
+            data = bytes(self.memory[address : address + nbytes])
+            yield from api.accept_current_get(put=data)
+            self.peeks += 1
+
+
+def peek(api, server: ServerSignature, address: int, size: int) -> Generator:
+    """Read ``size`` bytes of remote memory at ``address``."""
+    buf = Buffer(size)
+    completion = yield from api.b_get(server, arg=address, get=buf)
+    if completion.status is not RequestStatus.COMPLETED:
+        raise SodaError(f"peek failed: {completion.status.value}")
+    return buf.data
+
+
+def poke(api, server: ServerSignature, address: int, value) -> Generator:
+    """Write ``value`` (bytes) into remote memory at ``address``."""
+    completion = yield from api.b_put(server, arg=address, put=value)
+    if completion.status is not RequestStatus.COMPLETED:
+        raise SodaError(f"poke failed: {completion.status.value}")
+    return completion.taken_put

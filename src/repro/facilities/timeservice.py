@@ -1,0 +1,85 @@
+"""The timeserver utility and timeout idioms (§4.3.2, §4.4.3).
+
+SODA deliberately has no timeouts in its primitives (§6.5); instead a
+client registers a wakeup REQUEST with a timeserver that owns a hardware
+clock.  The request is a SIGNAL whose argument is the delay; the
+timeserver ACCEPTs it when the delay expires, invoking the requester's
+handler.  The requester may then CANCEL whatever it was waiting on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generator, List, Tuple
+
+from repro.core.client import ClientProgram
+from repro.core.patterns import Pattern, make_well_known_pattern
+from repro.core.signatures import RequesterSignature, ServerSignature
+
+#: Well-known alarm-clock pattern (the paper's ALARM_CLOCK).
+ALARM_CLOCK: Pattern = make_well_known_pattern(0o500)
+
+#: Delay units carried in the SIGNAL argument: one tick = 1 ms, so that
+#: 16-bit arguments cover over a minute.
+TICK_US = 1_000.0
+
+
+class TimeServer(ClientProgram):
+    """Accepts wakeup SIGNALs when their delay expires.
+
+    The REQUEST argument is the delay in milliseconds.  The hardware
+    clock is modelled by polling the simulator clock every ``tick_us``.
+    """
+
+    def __init__(self, pattern: Pattern = ALARM_CLOCK, tick_us: float = TICK_US):
+        self.pattern = pattern
+        self.tick_us = tick_us
+        self._pending: List[Tuple[float, int, RequesterSignature]] = []
+        self._tiebreak = itertools.count()
+        self.alarms_served = 0
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(self.pattern)
+
+    def handler(self, api, event):
+        if event.is_arrival and event.pattern == self.pattern:
+            expiry = api.now + max(0, event.arg) * TICK_US
+            heapq.heappush(
+                self._pending, (expiry, next(self._tiebreak), event.asker)
+            )
+        return
+        yield  # pragma: no cover
+
+    def task(self, api):
+        while True:
+            # Sleep to the next interesting instant: the earliest pending
+            # expiry, or a coarse idle tick when nothing is registered
+            # (alarms that arrive mid-sleep are late by at most one
+            # segment, like any real tick-driven clock).
+            if self._pending:
+                wait = max(self.tick_us, self._pending[0][0] - api.now)
+            else:
+                wait = 10 * self.tick_us
+            yield api.compute(min(wait, 10 * self.tick_us))
+            while self._pending and self._pending[0][0] <= api.now:
+                _expiry, _n, asker = heapq.heappop(self._pending)
+                yield from api.accept_signal(asker)
+                self.alarms_served += 1
+
+
+def set_alarm(api, timeserver: ServerSignature, delay_ms: int) -> Generator:
+    """Register a wakeup; returns the TID (§4.3.2).
+
+    Non-blocking: the completion arrives at the client's handler when
+    the alarm expires.  The TID lets the handler recognize it (the
+    COMPLETION case of §4.1.4.1) and lets the client CANCEL the alarm.
+    """
+    tid = yield from api.signal(timeserver, arg=delay_ms)
+    return tid
+
+
+def sleep_via(api, timeserver: ServerSignature, delay_ms: int) -> Generator:
+    """Blocking sleep: a B_SIGNAL the timeserver accepts at expiry."""
+    completion = yield from api.b_signal(timeserver, arg=delay_ms)
+    return completion

@@ -1,0 +1,20 @@
+"""Simulated local-area network substrate.
+
+Models the paper's CompuNet Megalink: a 1 Mbit/s broadcast bus with CRC
+error detection.  Frames carry transport packets between node kernels;
+the bus serializes transmissions, applies propagation delay, and applies
+an injectable fault model (loss, CRC corruption).
+"""
+
+from repro.net.errors import FaultPlan
+from repro.net.frame import BROADCAST_MID, Frame
+from repro.net.medium import BroadcastBus
+from repro.net.nic import NetworkInterface
+
+__all__ = [
+    "BROADCAST_MID",
+    "BroadcastBus",
+    "FaultPlan",
+    "Frame",
+    "NetworkInterface",
+]

@@ -1,0 +1,88 @@
+"""Fault injection for the bus.
+
+The paper assumes the kernel "can detect errors due to transient
+subnetwork problems such as packet collisions or noise-induced errors and
+that a packet retransmitted enough times will eventually arrive
+undamaged" (§3.3).  A :class:`FaultPlan` injects exactly those transient
+faults: probabilistic loss, probabilistic CRC corruption (discarded at the
+receiver, indistinguishable from loss to the protocol), plus deterministic
+hooks used by tests to script specific scenarios (e.g. the Delta-t figure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.net.frame import Frame
+
+
+class FaultPlan:
+    """Decides, per frame and per receiver, whether delivery succeeds."""
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        corruption_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability out of range")
+        if not 0.0 <= corruption_probability <= 1.0:
+            raise ValueError("corruption_probability out of range")
+        self.loss_probability = loss_probability
+        self.corruption_probability = corruption_probability
+        self._drop_predicates: List[Callable[[Frame, int], bool]] = []
+        self._drops_remaining = 0
+        self.frames_lost = 0
+        self.frames_corrupted = 0
+        self.frames_scripted_drops = 0
+
+    # -- deterministic scripting ------------------------------------------
+
+    def drop_next(self, count: int = 1) -> None:
+        """Silently drop the next ``count`` frame deliveries."""
+        self._drops_remaining += count
+
+    def add_drop_predicate(self, predicate: Callable[[Frame, int], bool]) -> None:
+        """Drop any delivery for which ``predicate(frame, receiver_mid)``.
+
+        Predicates persist until removed; tests use them to e.g. sever one
+        direction of a link or to kill all traffic from a "crashed" node.
+        """
+        self._drop_predicates.append(predicate)
+
+    def remove_drop_predicate(
+        self, predicate: Callable[[Frame, int], bool]
+    ) -> None:
+        self._drop_predicates.remove(predicate)
+
+    def clear_predicates(self) -> None:
+        self._drop_predicates.clear()
+
+    # -- the verdict ---------------------------------------------------------
+
+    def delivers(self, frame: Frame, receiver_mid: int, rng) -> bool:
+        """True iff this frame should reach this receiver intact.
+
+        ``rng`` is a ``random.Random`` stream owned by the bus so draws are
+        reproducible and ordered.
+        """
+        if self._drops_remaining > 0:
+            self._drops_remaining -= 1
+            self.frames_scripted_drops += 1
+            return False
+        for predicate in self._drop_predicates:
+            if predicate(frame, receiver_mid):
+                self.frames_scripted_drops += 1
+                return False
+        if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
+            self.frames_lost += 1
+            return False
+        if (
+            self.corruption_probability > 0.0
+            and rng.random() < self.corruption_probability
+        ):
+            # A corrupted frame fails the Megalink CRC and is discarded by
+            # the receiving interface -- same observable effect as loss.
+            self.frames_corrupted += 1
+            return False
+        return True

@@ -1,0 +1,50 @@
+"""Link-layer frames.
+
+A frame addresses a destination machine id (MID) or the special
+``BROADCAST_MID`` recognized by every interface (§5.3).  The payload is an
+opaque transport packet; the frame only needs to know how many bytes the
+payload occupies on the wire to compute serialization delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Special machine identifier recognized by all Megalink interfaces.
+BROADCAST_MID = -1
+
+#: Link+transport header size in bytes: source/destination MIDs, CRC,
+#: alternating-bit state, packet-type flags, and the SODA tag (pattern,
+#: requester signature, argument, buffer sizes).  See §6.11 on why the tag
+#: is deliberately short.
+FRAME_HEADER_BYTES = 24
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One link-layer transmission."""
+
+    src: int
+    dst: int
+    payload: Any
+    payload_bytes: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST_MID
+
+    @property
+    def wire_bytes(self) -> int:
+        return FRAME_HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:
+        dst = "BCAST" if self.is_broadcast else str(self.dst)
+        return (
+            f"<Frame #{self.frame_id} {self.src}->{dst} "
+            f"{self.wire_bytes}B {self.payload!r}>"
+        )

@@ -1,0 +1,124 @@
+"""The broadcast bus.
+
+All nodes share one medium.  A transmission holds the bus for its
+serialization time (wire bytes at the configured bandwidth); concurrent
+send attempts queue FIFO — this folds the Megalink's arbitration/backoff
+into a deterministic bounded wait, which is what matters for the paper's
+guarantee that ACCEPT completes in bounded time (§6.10).  After
+serialization plus propagation delay the frame is offered to the addressed
+interface (or, for broadcasts, every other interface); the fault plan may
+discard any individual delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.net.errors import FaultPlan
+from repro.net.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nic import NetworkInterface
+    from repro.sim.engine import Simulator
+
+
+class BroadcastBus:
+    """Shared 1 Mbit/s broadcast medium (CompuNet Megalink stand-in)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_bps: int = 1_000_000,
+        propagation_us: float = 5.0,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_us = propagation_us
+        self.faults = faults or FaultPlan()
+        self._interfaces: Dict[int, "NetworkInterface"] = {}
+        self._pending: Deque[Frame] = deque()
+        self._busy = False
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.busy_time_us = 0.0
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, nic: "NetworkInterface") -> None:
+        if nic.mid in self._interfaces:
+            raise ValueError(f"MID {nic.mid} already attached")
+        self._interfaces[nic.mid] = nic
+
+    def detach(self, mid: int) -> None:
+        self._interfaces.pop(mid, None)
+
+    def interface(self, mid: int) -> Optional["NetworkInterface"]:
+        return self._interfaces.get(mid)
+
+    @property
+    def mids(self):
+        return sorted(self._interfaces)
+
+    # -- transmission ---------------------------------------------------------
+
+    def serialization_us(self, frame: Frame) -> float:
+        """Time the frame occupies the wire."""
+        return frame.wire_bytes * 8.0 * 1_000_000.0 / self.bandwidth_bps
+
+    def send(self, frame: Frame) -> None:
+        """Queue a frame for transmission (returns immediately)."""
+        self._pending.append(frame)
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._pending.popleft()
+        tx_time = self.serialization_us(frame)
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes
+        self.busy_time_us += tx_time
+        self.sim.trace.record(
+            self.sim.now,
+            "net.tx",
+            src=frame.src,
+            dst=frame.dst,
+            bytes=frame.wire_bytes,
+            frame_id=frame.frame_id,
+        )
+        self.sim.schedule(tx_time, self._finish_transmission, frame)
+
+    def _finish_transmission(self, frame: Frame) -> None:
+        self.sim.schedule(self.propagation_us, self._deliver, frame)
+        self._transmit_next()
+
+    def _deliver(self, frame: Frame) -> None:
+        rng = self.sim.rng.stream("bus.faults")
+        if frame.is_broadcast:
+            receivers = [
+                nic for mid, nic in sorted(self._interfaces.items())
+                if mid != frame.src
+            ]
+        else:
+            nic = self._interfaces.get(frame.dst)
+            # Unicast frames addressed to an absent interface vanish: MID
+            # screening happens in interface hardware (§6.12).
+            receivers = [nic] if nic is not None else []
+        for nic in receivers:
+            if self.faults.delivers(frame, nic.mid, rng):
+                nic.deliver(frame)
+            else:
+                self.sim.trace.record(
+                    self.sim.now,
+                    "net.drop",
+                    src=frame.src,
+                    dst=nic.mid,
+                    frame_id=frame.frame_id,
+                )

@@ -1,0 +1,45 @@
+"""The per-node network interface.
+
+The Megalink interface screens on destination MID in hardware (cheap,
+single comparison — §6.12) and hands accepted frames to the kernel.  The
+kernel registers an ``on_frame`` callback; an interface with no kernel
+attached (a powered-off node) silently discards traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.net.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.medium import BroadcastBus
+
+
+class NetworkInterface:
+    """One node's attachment point to the bus."""
+
+    def __init__(self, bus: "BroadcastBus", mid: int) -> None:
+        if mid < 0:
+            raise ValueError("MIDs are non-negative (negative is broadcast)")
+        self.bus = bus
+        self.mid = mid
+        self.on_frame: Optional[Callable[[Frame], None]] = None
+        self.enabled = True
+        self.frames_received = 0
+        self.frames_sent = 0
+        bus.attach(self)
+
+    def send(self, dst: int, payload: Any, payload_bytes: int = 0) -> Frame:
+        """Queue a frame onto the bus; returns the frame for tracing."""
+        frame = Frame(self.mid, dst, payload, payload_bytes)
+        self.frames_sent += 1
+        self.bus.send(frame)
+        return frame
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the bus when a frame addressed here arrives intact."""
+        if not self.enabled or self.on_frame is None:
+            return
+        self.frames_received += 1
+        self.on_frame(frame)

@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation engine.
+
+This package is the lowest substrate of the reproduction: everything else
+(the bus, the transport protocol, the SODA kernel, client programs) runs
+inside a :class:`~repro.sim.engine.Simulator`.  Time is virtual and
+expressed in microseconds; all randomness flows through named, seeded
+streams so a run is reproducible from ``(seed,)`` alone.
+"""
+
+from repro.sim.clock import MICROSECOND, MILLISECOND, SECOND, format_us
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process, ProcessKilled, SimFuture
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import CostLedger, TraceRecord, Tracer
+
+__all__ = [
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "CostLedger",
+    "Event",
+    "EventQueue",
+    "Process",
+    "ProcessKilled",
+    "RngStreams",
+    "SimFuture",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "format_us",
+]

@@ -1,0 +1,37 @@
+"""Virtual-time units and helpers.
+
+The simulator measures time in **microseconds** stored as floats.  The
+constants below make call sites read like the paper's prose ("7.1 ms per
+SIGNAL", "MPL bounded by a few milliseconds").
+"""
+
+MICROSECOND = 1.0
+MILLISECOND = 1_000.0
+SECOND = 1_000_000.0
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / MILLISECOND
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * MILLISECOND
+
+
+def format_us(us: float) -> str:
+    """Render a duration in the most readable unit.
+
+    >>> format_us(7100.0)
+    '7.100ms'
+    >>> format_us(16.0)
+    '16.000us'
+    >>> format_us(2_500_000.0)
+    '2.500s'
+    """
+    if us >= SECOND:
+        return f"{us / SECOND:.3f}s"
+    if us >= MILLISECOND:
+        return f"{us / MILLISECOND:.3f}ms"
+    return f"{us:.3f}us"

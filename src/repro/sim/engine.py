@@ -1,0 +1,122 @@
+"""The simulator core: a clock, an event queue, processes, RNG, and traces."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process, SimFuture
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import Tracer
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    One Simulator instance models one *run* of a SODA network.  All
+    components (bus, kernels, clients) share this instance for time,
+    scheduling, randomness, and tracing.
+    """
+
+    def __init__(self, seed: int = 0, keep_trace: bool = True) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.rng = RngStreams(seed)
+        self.trace = Tracer(keep_records=keep_trace)
+        self._events_processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Run ``fn(*args)`` after ``delay`` microseconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + delay, fn, args, priority)
+
+    def at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Run ``fn(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past (t={time} < {self.now})")
+        return self.queue.push(time, fn, args, priority)
+
+    # -- processes and futures --------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Create and start a process driving ``gen``."""
+        return Process(self, gen, name=name).start()
+
+    def new_future(self) -> SimFuture:
+        return SimFuture(self)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the number of events processed by this call.  ``max_events``
+        is a runaway guard: exceeding it raises RuntimeError rather than
+        spinning forever on a livelocked protocol.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            assert event is not None
+            if event.time < self.now:  # pragma: no cover - defensive
+                raise RuntimeError("event queue went backwards")
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+            self._events_processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"run() exceeded max_events={max_events}; "
+                    "likely a protocol livelock"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        """Advance until ``predicate()`` is true or ``timeout`` elapses.
+
+        Returns True if the predicate became true.  Checks the predicate
+        after every event; intended for tests.
+        """
+        deadline = self.now + timeout
+        while not predicate():
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > deadline:
+                self.now = min(deadline, self.now if next_time is None else deadline)
+                return predicate()
+            event = self.queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.fn(*event.args)
+            self._events_processed += 1
+        return True
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,123 @@
+"""Trace records, counters, and the cost ledger.
+
+Two observability mechanisms coexist:
+
+* :class:`Tracer` — an append-only log of structured records plus named
+  counters.  Tests and benchmarks use it to count packets per transaction,
+  observe handler invocations, etc.
+* :class:`CostLedger` — an accumulator of *simulated time charged to a
+  named cost category*.  The SODA kernel charges every microsecond of
+  simulated work to a category (``protocol``, ``connection_timers``,
+  ``retransmit_timers``, ``context_switch``, ``transmission``,
+  ``client_overhead``), which is exactly what the paper's "Breakdown of
+  Communications Overhead" table reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Structured event log with counters.
+
+    Tracing is cheap but not free; large benchmark runs can disable record
+    retention (``keep_records=False``) and still use counters.
+    """
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        self.counters[category] += 1
+        if self.keep_records:
+            self.records.append(TraceRecord(time, category, fields))
+
+    def count(self, category: str) -> int:
+        return self.counters[category]
+
+    def select(self, category: str, **match: Any) -> List[TraceRecord]:
+        """All retained records of a category whose fields match ``match``."""
+        out = []
+        for record in self.records:
+            if record.category != category:
+                continue
+            if all(record.get(key) == value for key, value in match.items()):
+                out.append(record)
+        return out
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        for record in reversed(self.records):
+            if record.category == category:
+                return record
+        return None
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.counters.clear()
+
+
+class CostLedger:
+    """Accumulates simulated time per cost category.
+
+    Categories mirror the paper's overhead-breakdown table.  ``charge`` is
+    called by the kernel and client runtime at the moment work is modelled,
+    so `total()` equals the sum of all modelled busy time.
+    """
+
+    CATEGORIES = (
+        "connection_timers",
+        "retransmit_timers",
+        "context_switch",
+        "transmission",
+        "client_overhead",
+        "protocol",
+    )
+
+    def __init__(self) -> None:
+        self._charges: Counter = Counter()
+
+    def charge(self, category: str, microseconds: float) -> None:
+        if microseconds < 0:
+            raise ValueError(f"negative charge: {microseconds}")
+        self._charges[category] += microseconds
+
+    def get(self, category: str) -> float:
+        return float(self._charges[category])
+
+    def total(self) -> float:
+        return float(sum(self._charges.values()))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {key: float(value) for key, value in self._charges.items()}
+
+    def diff(self, earlier: Dict[str, float]) -> Dict[str, float]:
+        """Charges accumulated since an earlier :meth:`snapshot`."""
+        out: Dict[str, float] = {}
+        for key, value in self._charges.items():
+            delta = float(value) - earlier.get(key, 0.0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def reset(self) -> None:
+        self._charges.clear()

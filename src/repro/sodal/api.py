@@ -1,0 +1,519 @@
+"""The SODAL API object handed to client programs (§4.1).
+
+Every method that does work is a generator and must be invoked as
+``yield from api.method(...)``; pure time costs are plain values for
+``yield api.compute(us)``.  This mirrors the paper's split between SODAL
+statements (which compile to kernel traps plus bookkeeping code) and
+plain computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Union
+
+from repro.core.boot import mids_from_bytes
+from repro.core.buffers import Buffer
+from repro.core.errors import NotInHandlerError, RequestStatus, SodaError
+from repro.core.patterns import BROADCAST, Pattern
+from repro.core.signatures import RequesterSignature, ServerSignature
+
+#: The default argument used when the client does not care (§4.1).
+OK = 0
+
+#: The ACCEPT argument that spells REJECT (§4.1.2).
+REJECT_ARG = -1
+
+PutData = Union[bytes, bytearray, str, Buffer, None]
+GetBuf = Union[Buffer, int, None]
+
+
+@dataclass
+class Completion:
+    """Result of a blocking request (B_PUT and friends).
+
+    ``status`` folds in the SODAL REJECTED convention: a completion whose
+    ACCEPT argument is -1 reads as REJECTED (§4.1.2).
+    """
+
+    status: RequestStatus
+    arg: int = 0
+    taken_put: int = 0
+    taken_get: int = 0
+    tid: int = 0
+
+    @property
+    def rejected(self) -> bool:
+        return self.status is RequestStatus.REJECTED
+
+    @property
+    def completed(self) -> bool:
+        return self.status is RequestStatus.COMPLETED
+
+
+def _coerce_put(data: PutData) -> bytes:
+    """Objects are coerced into BUFFERS as necessary (§4.1.1)."""
+    if data is None:
+        return b""
+    if isinstance(data, Buffer):
+        return data.data
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    return bytes(data)
+
+
+def _coerce_get(buf: GetBuf) -> Buffer:
+    if buf is None:
+        return Buffer.nil()
+    if isinstance(buf, int):
+        return Buffer(buf)
+    return buf
+
+
+class SodalApi:
+    """Kernel primitives plus the SODAL conveniences, bound to one client."""
+
+    def __init__(self, processor) -> None:
+        self._processor = processor
+        self.kernel = processor.kernel
+        self.sim = processor.sim
+
+    # ------------------------------------------------------------------
+    # environment
+    # ------------------------------------------------------------------
+
+    @property
+    def my_mid(self) -> int:
+        """MY_MID from the communications region (§3.7.3)."""
+        return self.kernel.mid
+
+    @property
+    def tm(self):
+        return self.kernel.config.timing
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def server_sig(self, mid: int, pattern: Pattern) -> ServerSignature:
+        """The <mid, pattern> cast (§4.1.3)."""
+        return ServerSignature(mid, pattern)
+
+    def requester_sig(self, mid: int, tid: int) -> RequesterSignature:
+        """The <mid, tid> cast (§4.1.3)."""
+        return RequesterSignature(mid, tid)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    def compute(self, us: float) -> float:
+        """Burn client CPU time: ``yield api.compute(us)``."""
+        return us
+
+    def idle(self) -> float:
+        """One pass of the idle() busy-wait loop (§5.2.1)."""
+        return self.tm.idle_poll_us
+
+    def poll(self, predicate) -> Generator:
+        """``while not predicate() do idle()`` (§4.1.1).
+
+        Models the IDLE/WAIT instruction (§5.2.1): each pass sleeps at
+        most an exponentially-growing quantum but is woken immediately
+        by any completed handler invocation, so the task reacts to fresh
+        interrupts at idle-poll granularity without burning simulated
+        cycles while nothing is going on.
+        """
+        delay = self.idle()
+        processor = self._processor
+        while not predicate():
+            seen = processor.activity_counter
+            yield from processor.wait_activity(delay)
+            if processor.activity_counter != seen:
+                delay = self.idle()
+            else:
+                delay = min(delay * 2.0, 10_000.0)
+
+    def serve_forever(self) -> Generator:
+        """Suspend the task indefinitely; all work happens in the handler.
+
+        Models the IDLE instruction of §5.2.1: the client waits for
+        interrupts without touching shared memory.
+        """
+        yield self.sim.new_future()
+
+    def _overhead(self) -> float:
+        """Client-side cost of a primitive invocation (trap+descriptor)."""
+        us = self.tm.client_overhead_us()
+        self.kernel.ledger.charge("client_overhead", us)
+        return us
+
+    # ------------------------------------------------------------------
+    # naming primitives
+    # ------------------------------------------------------------------
+
+    def advertise(self, pattern: Pattern) -> Generator:
+        yield self._overhead()
+        self.kernel.client_advertise(pattern)
+
+    def unadvertise(self, pattern: Pattern) -> Generator:
+        yield self._overhead()
+        self.kernel.client_unadvertise(pattern)
+
+    def getuniqueid(self) -> Generator:
+        yield self._overhead()
+        return self.kernel.client_getuniqueid()
+
+    # ------------------------------------------------------------------
+    # handler control
+    # ------------------------------------------------------------------
+
+    def open(self) -> Generator:
+        yield self.tm.trap_us
+        self.kernel.client_open()
+
+    def close(self) -> Generator:
+        yield self.tm.trap_us
+        self.kernel.client_close()
+
+    # ------------------------------------------------------------------
+    # process control
+    # ------------------------------------------------------------------
+
+    def die(self) -> Generator:
+        yield self.tm.trap_us
+        self.kernel.client_die()
+        # The client never executes past DIE; the process was killed.
+        yield self.sim.new_future()  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # non-blocking REQUEST variants (§4.1.1)
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        server: ServerSignature,
+        arg: int = OK,
+        put: PutData = None,
+        get: GetBuf = None,
+    ) -> Generator:
+        """REQUEST; returns the TID."""
+        yield self._overhead()
+        return self.kernel.client_request(
+            server, arg, _coerce_put(put), _coerce_get(get)
+        )
+
+    def signal(self, server: ServerSignature, arg: int = OK) -> Generator:
+        return self.request(server, arg)
+
+    def put(
+        self, server: ServerSignature, arg: int = OK, put: PutData = None
+    ) -> Generator:
+        return self.request(server, arg, put=put)
+
+    def get(
+        self, server: ServerSignature, arg: int = OK, get: GetBuf = None
+    ) -> Generator:
+        return self.request(server, arg, get=get)
+
+    def exchange(
+        self,
+        server: ServerSignature,
+        arg: int = OK,
+        put: PutData = None,
+        get: GetBuf = None,
+    ) -> Generator:
+        return self.request(server, arg, put=put, get=get)
+
+    # ------------------------------------------------------------------
+    # ACCEPT variants
+    # ------------------------------------------------------------------
+
+    def accept(
+        self,
+        requester: RequesterSignature,
+        arg: int = OK,
+        get: GetBuf = None,
+        put: PutData = None,
+    ) -> Generator:
+        """Blocking ACCEPT; returns an AcceptStatus."""
+        yield self._overhead()
+        future = self.kernel.client_accept(
+            requester, arg, _coerce_get(get), _coerce_put(put)
+        )
+        self._processor.in_blocking_primitive = True
+        try:
+            status = yield future
+        finally:
+            self._processor.in_blocking_primitive = False
+        self.kernel.poll_handler()
+        return status
+
+    def accept_signal(
+        self, requester: RequesterSignature, arg: int = OK
+    ) -> Generator:
+        return self.accept(requester, arg)
+
+    def accept_put(
+        self, requester: RequesterSignature, arg: int = OK, get: GetBuf = None
+    ) -> Generator:
+        """Complete a PUT: receive the requester's data into ``get``."""
+        return self.accept(requester, arg, get=get)
+
+    def accept_get(
+        self, requester: RequesterSignature, arg: int = OK, put: PutData = None
+    ) -> Generator:
+        """Complete a GET: send ``put`` back to the requester."""
+        return self.accept(requester, arg, put=put)
+
+    def accept_exchange(
+        self,
+        requester: RequesterSignature,
+        arg: int = OK,
+        get: GetBuf = None,
+        put: PutData = None,
+    ) -> Generator:
+        return self.accept(requester, arg, get=get, put=put)
+
+    # -- ACCEPT_CURRENT (§4.1.2) -------------------------------------------
+
+    def _current_asker(self) -> RequesterSignature:
+        event = self._processor.current_event
+        if event is None or not event.is_arrival or event.asker is None:
+            raise NotInHandlerError(
+                "ACCEPT_CURRENT is only legal inside a request-arrival handler"
+            )
+        return event.asker
+
+    def accept_current(
+        self, arg: int = OK, get: GetBuf = None, put: PutData = None
+    ) -> Generator:
+        return self.accept(self._current_asker(), arg, get=get, put=put)
+
+    def accept_current_signal(self, arg: int = OK) -> Generator:
+        return self.accept_current(arg)
+
+    def accept_current_put(self, arg: int = OK, get: GetBuf = None) -> Generator:
+        return self.accept_current(arg, get=get)
+
+    def accept_current_get(self, arg: int = OK, put: PutData = None) -> Generator:
+        return self.accept_current(arg, put=put)
+
+    def accept_current_exchange(
+        self, arg: int = OK, get: GetBuf = None, put: PutData = None
+    ) -> Generator:
+        return self.accept_current(arg, get=get, put=put)
+
+    def reject(self, requester: Optional[RequesterSignature] = None) -> Generator:
+        """REJECT: ACCEPT with no data and an argument of -1 (§4.1.2)."""
+        if requester is None:
+            requester = self._current_asker()
+        return self.accept(requester, REJECT_ARG)
+
+    # ------------------------------------------------------------------
+    # CANCEL
+    # ------------------------------------------------------------------
+
+    def cancel(self, tid: int) -> Generator:
+        """Blocking CANCEL of one of our own requests."""
+        yield self._overhead()
+        future = self.kernel.client_cancel(RequesterSignature(self.my_mid, tid))
+        self._processor.in_blocking_primitive = True
+        try:
+            status = yield future
+        finally:
+            self._processor.in_blocking_primitive = False
+        self.kernel.poll_handler()
+        return status
+
+    # ------------------------------------------------------------------
+    # blocking requests (§4.1.1)
+    # ------------------------------------------------------------------
+
+    def b_request(
+        self,
+        server: ServerSignature,
+        arg: int = OK,
+        put: PutData = None,
+        get: GetBuf = None,
+        image=None,
+    ) -> Generator:
+        """B_PUT/B_GET/B_EXCHANGE/B_SIGNAL core; returns a Completion.
+
+        Legal in the task; inside the handler it performs the paper's
+        saved-PC maneuver: the handler invocation ends here and the rest
+        of the calling code continues at task level (§4.1.1).
+        """
+        if self._processor.executing_handler:
+            self._processor.detach_handler_for_blocking()
+        # The blocking wrapper's bookkeeping (§4.1.1): save the return
+        # point and prepare the hidden completion handler...
+        yield self.tm.blocking_wrapper_us / 2
+        yield self._overhead()
+        tid = self.kernel.client_request(
+            server, arg, _coerce_put(put), _coerce_get(get), image=image
+        )
+        future = self.sim.new_future()
+        self._processor.awaited_completions[tid] = future
+        event = yield future
+        # ...and restore it when the completion unblocks us.
+        yield self.tm.blocking_wrapper_us / 2
+        status = event.status
+        if status is RequestStatus.COMPLETED and event.arg == REJECT_ARG:
+            status = RequestStatus.REJECTED
+        return Completion(
+            status=status,
+            arg=event.arg,
+            taken_put=event.taken_put,
+            taken_get=event.taken_get,
+            tid=tid,
+        )
+
+    def watch_completion(self, tid: int):
+        """Register interest in a request's completion *right now*.
+
+        Returns a future for :meth:`wait_completion`.  The completion
+        event will be intercepted by the hidden SODAL handler instead of
+        reaching the user handler.  Register before any completion could
+        arrive; then wait whenever convenient (pipelined sends do this).
+        """
+        future = self.sim.new_future()
+        self._processor.awaited_completions[tid] = future
+        return future
+
+    def wait_completion(self, tid: int, future) -> Generator:
+        """Block until a watched completion arrives; returns a Completion."""
+        event = yield future
+        status = event.status
+        if status is RequestStatus.COMPLETED and event.arg == REJECT_ARG:
+            status = RequestStatus.REJECTED
+        return Completion(
+            status=status,
+            arg=event.arg,
+            taken_put=event.taken_put,
+            taken_get=event.taken_get,
+            tid=tid,
+        )
+
+    def await_completion(self, tid: int) -> Generator:
+        """watch + wait in one step (safe only when the completion cannot
+        arrive before this call runs)."""
+        future = self.watch_completion(tid)
+        event = yield future
+        status = event.status
+        if status is RequestStatus.COMPLETED and event.arg == REJECT_ARG:
+            status = RequestStatus.REJECTED
+        return Completion(
+            status=status,
+            arg=event.arg,
+            taken_put=event.taken_put,
+            taken_get=event.taken_get,
+            tid=tid,
+        )
+
+    def b_signal(self, server: ServerSignature, arg: int = OK) -> Generator:
+        return self.b_request(server, arg)
+
+    def b_put(
+        self, server: ServerSignature, arg: int = OK, put: PutData = None
+    ) -> Generator:
+        return self.b_request(server, arg, put=put)
+
+    def b_get(
+        self, server: ServerSignature, arg: int = OK, get: GetBuf = None
+    ) -> Generator:
+        return self.b_request(server, arg, get=get)
+
+    def b_exchange(
+        self,
+        server: ServerSignature,
+        arg: int = OK,
+        put: PutData = None,
+        get: GetBuf = None,
+    ) -> Generator:
+        return self.b_request(server, arg, put=put, get=get)
+
+    # ------------------------------------------------------------------
+    # DISCOVER (§4.1.3)
+    # ------------------------------------------------------------------
+
+    def discover_all(
+        self, pattern: Pattern, max_replies: int = 16
+    ) -> Generator:
+        """One broadcast round; returns the list of matching MIDs."""
+        buffer = Buffer(2 * max_replies)
+        completion = yield from self.b_get(
+            ServerSignature(BROADCAST, pattern), OK, get=buffer
+        )
+        if completion.status is not RequestStatus.COMPLETED:
+            return []
+        return mids_from_bytes(buffer.data)
+
+    def discover(self, pattern: Pattern) -> Generator:
+        """Blocking DISCOVER: retries until a server answers; returns a
+        ServerSignature for one matching server (§4.1.3)."""
+        while True:
+            mids = yield from self.discover_all(pattern, max_replies=1)
+            if mids:
+                return ServerSignature(mids[0], pattern)
+
+    # ------------------------------------------------------------------
+    # booting (§3.5.2)
+    # ------------------------------------------------------------------
+
+    def boot_node(
+        self, target: ServerSignature, image, start: bool = True
+    ) -> Generator:
+        """Run the boot protocol against a bare node (§3.5.2).
+
+        ``target`` is <mid, BOOT_PATTERN> (typically from a DISCOVER on
+        the machine-type boot pattern); ``image`` is a ProgramImage.
+        Returns the LOAD pattern's server signature, usable later to
+        kill the child (a second SIGNAL on it).  Raises SodaError if the
+        node refused the boot (already claimed or occupied).
+
+        With ``start=False`` the image is loaded but not started; issue
+        the start SIGNAL later with :meth:`boot_start` — connectors use
+        this to load a whole application before any module runs.
+        """
+        from repro.core.boot import pattern_from_bytes
+
+        buf = Buffer(6)
+        completion = yield from self.b_get(target, get=buf)
+        if completion.status is not RequestStatus.COMPLETED:
+            raise SodaError(
+                f"boot refused by MID {target.mid}: {completion.status.value}"
+            )
+        load_sig = ServerSignature(target.mid, pattern_from_bytes(buf.data))
+        first = True
+        for offset, nbytes in image.chunks():
+            completion = yield from self.b_request(
+                load_sig,
+                arg=offset,
+                put=bytes(nbytes),
+                image=image if first else None,
+            )
+            if completion.status is not RequestStatus.COMPLETED:
+                raise SodaError(f"image load failed: {completion.status.value}")
+            first = False
+        if start:
+            yield from self.boot_start(load_sig)
+        return load_sig
+
+    def boot_start(self, load_sig: ServerSignature) -> Generator:
+        """Start a previously-loaded client (the first LOAD SIGNAL)."""
+        completion = yield from self.b_signal(load_sig)
+        if completion.status is not RequestStatus.COMPLETED:
+            raise SodaError(f"boot start failed: {completion.status.value}")
+
+    # ------------------------------------------------------------------
+    # queue helpers (charge the paper's queueing overhead, §5.5)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, queue, item) -> Generator:
+        yield self.tm.queue_op_us
+        queue.enqueue(item)
+
+    def dequeue(self, queue) -> Generator:
+        yield self.tm.queue_op_us
+        return queue.dequeue()

@@ -1,0 +1,90 @@
+"""ENTRY / COMPLETION dispatch (§4.1.4.1).
+
+SODAL lets handlers switch on the invoked pattern (ENTRY) for arrivals
+and on the TID (COMPLETION) for completions::
+
+    case ENTRY of
+       pattern_1: ...
+    case COMPLETION of
+       tid_1: ...
+
+:class:`HandlerDispatcher` provides the same structure declaratively: a
+program registers entry handlers per pattern (plus an OTHERWISE default)
+and completion handlers per TID, then routes every event through
+:meth:`dispatch`.  Completion routes are one-shot, like the paper's
+``tid`` case labels that match a specific outstanding request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.core.client import HandlerEvent
+from repro.core.patterns import Pattern
+
+
+class HandlerDispatcher:
+    """Routes handler events to registered entry/completion handlers.
+
+    Handlers are generator functions ``fn(api, event)``; entry handlers
+    persist, completion handlers fire once.  ``dispatch`` returns True
+    if a route consumed the event.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Pattern, Callable] = {}
+        self._otherwise: Optional[Callable] = None
+        self._completions: Dict[int, Callable] = {}
+        self._completion_default: Optional[Callable] = None
+
+    # -- registration -------------------------------------------------------
+
+    def on_entry(self, pattern: Pattern, fn: Callable) -> None:
+        """``case ENTRY of pattern: fn``."""
+        self._entries[pattern] = fn
+
+    def otherwise(self, fn: Callable) -> None:
+        """The OTHERWISE arm of the ENTRY case (§4.2.1 uses one)."""
+        self._otherwise = fn
+
+    def on_completion(self, tid: int, fn: Callable) -> None:
+        """``case COMPLETION of tid: fn`` — fires once, then unregisters."""
+        self._completions[tid] = fn
+
+    def on_any_completion(self, fn: Callable) -> None:
+        """Fallback for completions of unregistered TIDs."""
+        self._completion_default = fn
+
+    def cancel_completion(self, tid: int) -> None:
+        self._completions.pop(tid, None)
+
+    # -- routing ---------------------------------------------------------------
+
+    def dispatch(self, api, event: HandlerEvent) -> Generator:
+        """Route one handler event; returns True if handled."""
+        if event.is_arrival:
+            fn = self._entries.get(event.pattern, self._otherwise)
+            if fn is None:
+                return False
+            yield from _as_gen(fn(api, event))
+            return True
+        if event.is_completion and event.asker is not None:
+            fn = self._completions.pop(event.asker.tid, None)
+            if fn is None:
+                fn = self._completion_default
+            if fn is None:
+                return False
+            yield from _as_gen(fn(api, event))
+            return True
+        return False
+
+    @property
+    def pending_completions(self) -> int:
+        return len(self._completions)
+
+
+def _as_gen(value) -> Generator:
+    if value is None:
+        return
+        yield  # pragma: no cover
+    yield from value

@@ -1,0 +1,86 @@
+"""The SODAL QUEUE type (§4.1.4).
+
+A bounded FIFO with the six operations the paper defines: EnQueue,
+DeQueue, isEmpty, isFull, AlmostEmpty, AlmostFull.  Servers use queues of
+REQUESTER SIGNATURES to schedule ACCEPTs, and queues of buffers for data
+(two-way bounded buffer, ports, file server).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(Exception):
+    """EnQueue on a full queue."""
+
+
+class QueueEmptyError(Exception):
+    """DeQueue on an empty queue."""
+
+
+class Queue(Generic[T]):
+    """``var q : QUEUE [capacity] of T``."""
+
+    def __init__(self, capacity: int, items: Optional[Iterable[T]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        if items is not None:
+            for item in items:
+                self.enqueue(item)
+
+    def enqueue(self, item: T) -> None:
+        """Insert at the end; raises QueueFullError when full."""
+        if self.is_full():
+            raise QueueFullError(f"queue of {self.capacity} is full")
+        self._items.append(item)
+
+    def dequeue(self) -> T:
+        """Remove and return the head; raises QueueEmptyError when empty."""
+        if not self._items:
+            raise QueueEmptyError("queue is empty")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if not self._items:
+            raise QueueEmptyError("queue is empty")
+        return self._items[0]
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def almost_empty(self) -> bool:
+        """True if the queue has a single element left (§4.1.4)."""
+        return len(self._items) == 1
+
+    def almost_full(self) -> bool:
+        """True if the queue can hold exactly one more item (§4.1.4)."""
+        return len(self._items) == self.capacity - 1
+
+    def remove(self, item: T) -> bool:
+        """Remove the first occurrence of ``item``; True if found."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False
+
+    def items(self) -> List[T]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:
+        return f"<Queue {len(self._items)}/{self.capacity}>"

@@ -1,0 +1,31 @@
+"""Transport-level building blocks.
+
+The SODA kernel's wire protocol (Chapter 5) is built from:
+
+* :mod:`repro.transport.packet` — the packet vocabulary, with the
+  piggyback combinations the paper's flows use (REQUEST+DATA, ACCEPT+ACK,
+  DATA+ACK, BUSY/ERROR NACKs, probes, discover query/reply);
+* :mod:`repro.transport.deltat` — Delta-t connection records: implicit
+  connection establishment, the take-any-sequence-number timer, and the
+  post-crash quiet period (§5.2.2);
+* :mod:`repro.transport.retransmit` — retransmission backoff policy,
+  including the slower retry rate used against BUSY handlers (§5.2.3).
+
+The per-peer alternating-bit machinery itself lives with the kernel in
+:mod:`repro.core.connection` because every piggybacking decision is made
+by kernel logic.
+"""
+
+from repro.transport.deltat import DeltaTConfig, DeltaTRecord, DeltaTState
+from repro.transport.packet import NackCode, Packet, PacketType
+from repro.transport.retransmit import RetransmitPolicy
+
+__all__ = [
+    "DeltaTConfig",
+    "DeltaTRecord",
+    "DeltaTState",
+    "NackCode",
+    "Packet",
+    "PacketType",
+    "RetransmitPolicy",
+]

@@ -1,0 +1,118 @@
+"""Delta-t connection management (§5.2.2).
+
+Delta-t replaces explicit connection establishment with timers.  With
+
+* ``R``   — maximum total time a message is retransmitted,
+* ``MPL`` — maximum packet lifetime,
+* ``A``   — maximum delay before acknowledging,
+
+the paper defines ``Δt = MPL + R + A`` and derives:
+
+* a receiver that has heard nothing from a peer for ``MPL + Δt`` destroys
+  its connection record and will again accept *any* sequence number from
+  that peer ("take-any" state);
+* a crashed node must stay quiet for ``2·MPL + Δt`` after recovering
+  before sending, so all old traffic and acknowledgements have died out.
+
+:class:`DeltaTRecord` tracks one peer's receive-direction state; the
+kernel consults it to decide whether an incoming sequence number is
+acceptable and to purge stale state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DeltaTConfig:
+    """Timer bounds, in microseconds."""
+
+    mpl_us: float = 50_000.0          # maximum packet lifetime
+    r_us: float = 200_000.0           # maximum total retransmission time
+    a_us: float = 5_000.0             # maximum ack delay
+
+    @property
+    def delta_t_us(self) -> float:
+        return self.mpl_us + self.r_us + self.a_us
+
+    @property
+    def take_any_after_us(self) -> float:
+        """Silence after which the receive record is destroyed."""
+        return self.mpl_us + self.delta_t_us
+
+    @property
+    def crash_quiet_us(self) -> float:
+        """How long a recovering node must stay silent before sending."""
+        return 2 * self.mpl_us + self.delta_t_us
+
+
+class DeltaTState(enum.Enum):
+    TAKE_ANY = "take_any"      # no record: accept any sequence number
+    SYNCHRONIZED = "synchronized"  # record live: enforce alternation
+
+
+class DeltaTRecord:
+    """Receive-direction connection record for one peer."""
+
+    def __init__(self, config: DeltaTConfig) -> None:
+        self.config = config
+        self.state = DeltaTState.TAKE_ANY
+        self.expected_seq: Optional[int] = None
+        self.last_heard_us: Optional[float] = None
+
+    def _maybe_expire(self, now_us: float) -> None:
+        if (
+            self.state is DeltaTState.SYNCHRONIZED
+            and self.last_heard_us is not None
+            and now_us - self.last_heard_us >= self.config.take_any_after_us
+        ):
+            self.state = DeltaTState.TAKE_ANY
+            self.expected_seq = None
+
+    def heard(self, now_us: float) -> None:
+        """Note any traffic from the peer (refreshes the take-any timer)."""
+        self._maybe_expire(now_us)
+        self.last_heard_us = now_us
+
+    def peek(self, seq: int, now_us: float) -> str:
+        """Classification verdict without consuming the sequence number.
+
+        Used to recognize duplicates of already-delivered messages even
+        when the new-message path is unavailable (BUSY handler): a
+        duplicate must be re-acknowledged, never negatively acknowledged.
+        """
+        self._maybe_expire(now_us)
+        if self.state is DeltaTState.TAKE_ANY:
+            return "new"
+        return "new" if seq == self.expected_seq else "duplicate"
+
+    def classify(self, seq: int, now_us: float) -> str:
+        """Classify an incoming sequenced message.
+
+        Returns ``"new"`` (deliver it), ``"duplicate"`` (discard,
+        re-acknowledge), and updates the record.  In TAKE_ANY state any
+        sequence number is accepted and synchronizes the record, exactly
+        as the paper prescribes.
+        """
+        self._maybe_expire(now_us)
+        self.last_heard_us = now_us
+        if self.state is DeltaTState.TAKE_ANY:
+            self.state = DeltaTState.SYNCHRONIZED
+            self.expected_seq = 1 - seq
+            return "new"
+        if seq == self.expected_seq:
+            self.expected_seq = 1 - seq
+            return "new"
+        return "duplicate"
+
+    def current_state(self, now_us: float) -> DeltaTState:
+        self._maybe_expire(now_us)
+        return self.state
+
+    def destroy(self) -> None:
+        self.state = DeltaTState.TAKE_ANY
+        self.expected_seq = None
+        self.last_heard_us = None

@@ -1,0 +1,58 @@
+"""Retransmission policy (§5.2.2-§5.2.3).
+
+Two distinct retry regimes exist:
+
+* **Acknowledgement retries** — a sequenced message unacknowledged after a
+  timeout is retransmitted after a random backoff; the number of attempts
+  is bounded, and exhausting them declares the destination dead.
+* **BUSY retries** — a REQUEST rejected with a BUSY NACK is retried at a
+  *slower*, decaying rate ("the rate of REQUEST retransmission decreases
+  with the number of retransmission attempts to avoid flooding the bus
+  needlessly"); these retries are unbounded because a client looping in
+  its handler is not considered crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Timing knobs for both retry regimes, in microseconds."""
+
+    #: Base acknowledgement timeout.  Must cover a maximum-size frame's
+    #: serialization in each direction plus the receiver's deferred-ack
+    #: window, or large PUTs trigger spurious retransmissions.
+    ack_timeout_us: float = 60_000.0
+    ack_jitter_us: float = 4_000.0
+    #: Additional timeout per byte of data carried (wire time at
+    #: 1 Mbit/s is 8 us/byte; allow for the reply direction too).
+    ack_timeout_per_byte_us: float = 16.0
+    max_ack_attempts: int = 8
+
+    busy_retry_base_us: float = 1_200.0
+    busy_retry_growth: float = 1.3
+    busy_retry_max_us: float = 50_000.0
+    busy_jitter_us: float = 200.0
+
+    def ack_retry_delay(self, attempt: int, rng, data_bytes: int = 0) -> float:
+        """Delay before retransmission ``attempt`` (1-based) for an ack."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        return (
+            self.ack_timeout_us
+            + self.ack_timeout_per_byte_us * data_bytes
+            + rng.uniform(0.0, self.ack_jitter_us)
+        )
+
+    def busy_retry_delay(self, attempt: int, rng) -> float:
+        """Delay before BUSY retry ``attempt`` (1-based), decaying rate."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        delay = self.busy_retry_base_us * (self.busy_retry_growth ** (attempt - 1))
+        delay = min(delay, self.busy_retry_max_us)
+        return delay + rng.uniform(0.0, self.busy_jitter_us)
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_ack_attempts

@@ -1,0 +1,182 @@
+"""Edge cases across the application programs."""
+
+import struct
+
+from repro.apps.bounded_buffer import BufferProducer
+from repro.apps.file_server import FILESERVER_PATTERN, FileServer, RemoteFile
+from repro.core import Buffer, ClientProgram, KernelConfig, Network, RequestStatus
+from repro.core.errors import SodaError
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.rpc import RpcServer
+
+RUN_US = 60_000_000.0
+PROC = make_well_known_pattern(0o603)
+
+
+def test_producer_flags_failure_when_consumer_dies():
+    net = Network(seed=171, config=KernelConfig(probe_interval_us=50_000.0))
+
+    class FlakyConsumer(ClientProgram):
+        def initialization(self, api, parent_mid):
+            from repro.apps.bounded_buffer import CONSUMER_PATTERN
+
+            yield from api.advertise(CONSUMER_PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                buf = Buffer(event.put_size)
+                yield from api.accept_current_put(get=buf)
+
+    consumer_node = net.add_node(program=FlakyConsumer())
+    producer = BufferProducer([b"one", b"two", b"three"], produce_us=30_000.0)
+    net.add_node(program=producer, boot_at_us=100.0)
+    net.sim.schedule(60_000.0, consumer_node.crash_client)
+    net.run(until=RUN_US)
+    assert producer.failed
+
+
+def test_rpc_double_put_rejected():
+    net = Network(seed=172)
+    server = RpcServer({PROC: lambda data: data})
+    net.add_node(program=server)
+    outcome = {}
+
+    class BadCaller(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(0, PROC)
+            first = yield from api.b_put(sig, put=b"params")
+            second = yield from api.b_put(sig, put=b"extra")  # violation
+            outcome["statuses"] = (first.status, second.status)
+            yield from api.serve_forever()
+
+    net.add_node(program=BadCaller(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    first, second = outcome["statuses"]
+    assert first is RequestStatus.COMPLETED
+    assert second is RequestStatus.REJECTED
+
+
+def test_file_server_unknown_operation_rejected():
+    net = Network(seed=173)
+    net.add_node(program=FileServer())
+    outcome = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, "x")
+            # Forge an operation code the server does not know.
+            completion = yield from api.b_exchange(
+                api.server_sig(fs.mid, f.fd_pattern), arg=99
+            )
+            outcome["arg"] = completion.arg
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["arg"] < 0  # negative arguments denote errors (§4.1.2)
+
+
+def test_file_server_read_empty_new_file():
+    net = Network(seed=174)
+    net.add_node(program=FileServer())
+    outcome = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, "fresh")
+            data = yield from f.read(64)
+            outcome["data"] = data
+            yield from f.close()
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["data"] == b""
+
+
+def test_file_server_seek_beyond_end_then_write_pads():
+    net = Network(seed=175)
+    server = FileServer()
+    net.add_node(program=server)
+
+    class Client(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, "sparse")
+            yield from f.write(b"ab")
+            yield from f.seek(5)
+            yield from f.write(b"z")
+            yield from f.close()
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    data = bytes(server.files["sparse"])
+    # Python bytearray slice-assign beyond end appends at the current
+    # length; the file is 'ab' + 'z' at position 5 -> length 6 with a
+    # gap, or appended -- either way 'z' is the last byte and 'ab' the
+    # first two.
+    assert data[:2] == b"ab"
+    assert data[-1:] == b"z"
+
+
+def test_remote_file_double_close_raises():
+    net = Network(seed=176)
+    net.add_node(program=FileServer())
+    outcome = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, "x")
+            yield from f.close()
+            try:
+                yield from f.close()
+            except SodaError:
+                outcome["raised"] = True
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome.get("raised")
+
+
+def test_rpc_server_composability_with_other_patterns():
+    """RpcServer's pieces can coexist with unrelated handler work."""
+    OTHER = make_well_known_pattern(0o605)
+    net = Network(seed=177)
+    extra = []
+
+    class Hybrid(RpcServer):
+        def __init__(self):
+            super().__init__({PROC: lambda d: d.upper()})
+
+        def initialization(self, api, parent_mid):
+            yield from super().initialization(api, parent_mid)
+            yield from api.advertise(OTHER)
+
+        def handler(self, api, event):
+            if event.is_arrival and event.pattern == OTHER:
+                extra.append(True)
+                yield from api.accept_current_signal()
+                return
+            yield from super().handler(api, event)
+
+    net.add_node(program=Hybrid())
+    outcome = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            from repro.facilities.rpc import rpc_call
+
+            yield from api.b_signal(api.server_sig(0, OTHER))
+            result = yield from rpc_call(api, api.server_sig(0, PROC), b"abc", 8)
+            outcome["result"] = result
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["result"] == b"ABC"
+    assert extra == [True]

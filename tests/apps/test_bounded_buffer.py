@@ -1,0 +1,78 @@
+"""Tests for the two-way bounded buffer (§4.4.1)."""
+
+from repro.apps.bounded_buffer import BufferConsumer, BufferProducer
+from repro.core import Network
+
+RUN_US = 120_000_000.0
+
+
+def test_single_producer_all_items_in_order():
+    net = Network(seed=81)
+    items = [f"item-{i:03d}".encode() for i in range(12)]
+    consumer = BufferConsumer(consume_us=1_000.0)
+    producer = BufferProducer(items, produce_us=500.0)
+    net.add_node(program=consumer)
+    net.add_node(program=producer, boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert consumer.consumed == items
+    assert producer.delivered == len(items)
+    assert not producer.failed
+
+
+def test_fast_producer_slow_consumer_backpressure():
+    # The consumer is 20x slower; flow control must engage and nothing
+    # may be lost or reordered.
+    net = Network(seed=82)
+    items = [bytes([i]) * 32 for i in range(20)]
+    # pending_size=1: a single producer has at most one outstanding
+    # request, so the signature queue must be tiny to see flow control.
+    consumer = BufferConsumer(
+        queue_size=3, pending_size=1, consume_us=40_000.0
+    )
+    producer = BufferProducer(items, produce_us=200.0)
+    net.add_node(program=consumer)
+    net.add_node(program=producer, boot_at_us=100.0)
+    net.run(until=600_000_000.0)
+    assert consumer.consumed == items
+    assert consumer.flow_control_closes >= 1
+
+
+def test_two_producers_interleave_without_loss():
+    net = Network(seed=83)
+    a_items = [f"a{i}".encode() for i in range(8)]
+    b_items = [f"b{i}".encode() for i in range(8)]
+    consumer = BufferConsumer(consume_us=3_000.0)
+    net.add_node(program=consumer)
+    net.add_node(program=BufferProducer(a_items, produce_us=800.0), boot_at_us=100.0)
+    net.add_node(program=BufferProducer(b_items, produce_us=900.0), boot_at_us=150.0)
+    net.run(until=300_000_000.0)
+    got_a = [x for x in consumer.consumed if x.startswith(b"a")]
+    got_b = [x for x in consumer.consumed if x.startswith(b"b")]
+    assert got_a == a_items
+    assert got_b == b_items
+
+
+def test_producer_overlaps_production_with_delivery():
+    # With double buffering, total time is close to max(produce, deliver)
+    # per item rather than their sum.  We check the producer finishes
+    # sooner than a fully-serial schedule would allow.
+    net = Network(seed=84)
+    n = 10
+    produce_us = 6_000.0
+    items = [b"x" * 100] * n
+    consumer = BufferConsumer(consume_us=100.0)
+    producer = BufferProducer(items, produce_us=produce_us)
+    net.add_node(program=consumer)
+    net.add_node(program=producer, boot_at_us=0.0)
+
+    finished = {}
+
+    def check():
+        if producer.delivered == n and "t" not in finished:
+            finished["t"] = net.sim.now
+        return producer.delivered == n
+
+    net.run_until(check, timeout=RUN_US)
+    # Serial lower bound would be n * (produce + ~9ms delivery).  With
+    # overlap we beat n * (produce + deliver) comfortably.
+    assert finished["t"] < n * (produce_us + 9_000.0)

@@ -1,0 +1,155 @@
+"""Tests for the file service (§4.4.5)."""
+
+from repro.apps.file_server import FILESERVER_PATTERN, FileServer, RemoteFile
+from repro.core import ClientProgram, Network
+from repro.core.errors import SodaError
+
+RUN_US = 300_000_000.0
+
+
+class FsClient(ClientProgram):
+    def __init__(self, body):
+        self.body = body
+        self.result = None
+        self.error = None
+
+    def task(self, api):
+        fs = yield from api.discover(FILESERVER_PATTERN)
+        try:
+            self.result = yield from self.body(api, fs.mid)
+        except SodaError as exc:
+            self.error = exc
+        yield from api.serve_forever()
+
+
+def run_fs(seed, body, files=None, extra_clients=()):
+    net = Network(seed=seed)
+    server = FileServer(files=files)
+    net.add_node(program=server)
+    client = FsClient(body)
+    net.add_node(program=client, boot_at_us=100.0)
+    for i, extra in enumerate(extra_clients):
+        net.add_node(program=extra, boot_at_us=200.0 + 57.0 * i)
+    net.run(until=RUN_US)
+    return server, client
+
+
+def test_read_existing_file_in_chunks():
+    content = bytes(range(200))
+
+    def body(api, fs_mid):
+        f = yield from RemoteFile.open(api, fs_mid, "data.bin")
+        first = yield from f.read(64)
+        second = yield from f.read(64)
+        rest = yield from f.read(200)
+        yield from f.close()
+        return first, second, rest
+
+    server, client = run_fs(101, body, files={"data.bin": content})
+    first, second, rest = client.result
+    assert first == content[:64]
+    assert second == content[64:128]
+    assert rest == content[128:]
+
+
+def test_write_then_read_back_with_seek():
+    def body(api, fs_mid):
+        f = yield from RemoteFile.open(api, fs_mid, "new.txt")
+        yield from f.write(b"hello, ")
+        yield from f.write(b"world")
+        yield from f.seek(0)
+        data = yield from f.read(32)
+        yield from f.seek(7)
+        tail = yield from f.read(32)
+        yield from f.close()
+        return data, tail
+
+    server, client = run_fs(102, body)
+    data, tail = client.result
+    assert data == b"hello, world"
+    assert tail == b"world"
+    assert bytes(server.files["new.txt"]) == b"hello, world"
+
+
+def test_overwrite_middle_of_file():
+    def body(api, fs_mid):
+        f = yield from RemoteFile.open(api, fs_mid, "f")
+        yield from f.write(b"AAAAAAAAAA")
+        yield from f.seek(3)
+        yield from f.write(b"BBB")
+        yield from f.seek(0)
+        data = yield from f.read(16)
+        yield from f.close()
+        return data
+
+    _, client = run_fs(103, body)
+    assert client.result == b"AAABBBAAAA"
+
+
+def test_operations_on_closed_fd_fail():
+    def body(api, fs_mid):
+        f = yield from RemoteFile.open(api, fs_mid, "f")
+        yield from f.close()
+        try:
+            yield from f.read(4)
+        except SodaError:
+            return "closed"
+        return "oops"
+
+    _, client = run_fs(104, body)
+    assert client.result == "closed"
+
+
+def test_two_files_have_independent_positions():
+    def body(api, fs_mid):
+        f1 = yield from RemoteFile.open(api, fs_mid, "a")
+        f2 = yield from RemoteFile.open(api, fs_mid, "b")
+        yield from f1.write(b"11111")
+        yield from f2.write(b"2222222")
+        yield from f1.seek(0)
+        d1 = yield from f1.read(8)
+        d2_pos_unaffected = yield from f2.read(8)  # at end: empty
+        yield from f2.seek(0)
+        d2 = yield from f2.read(8)
+        return d1, d2_pos_unaffected, d2
+
+    _, client = run_fs(105, body)
+    d1, empty, d2 = client.result
+    assert d1 == b"11111"
+    assert empty == b""
+    assert d2 == b"2222222"
+
+
+def test_concurrent_clients_separate_descriptors():
+    results = {}
+
+    class Writer(ClientProgram):
+        def __init__(self, name, payload):
+            self.name = name
+            self.payload = payload
+
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, self.name)
+            yield from f.write(self.payload)
+            yield from f.seek(0)
+            results[self.name] = (yield from f.read(64))
+            yield from f.close()
+            yield from api.serve_forever()
+
+    def body(api, fs_mid):
+        f = yield from RemoteFile.open(api, fs_mid, "main")
+        yield from f.write(b"main data")
+        yield from f.seek(0)
+        data = yield from f.read(64)
+        yield from f.close()
+        return data
+
+    server, client = run_fs(
+        106,
+        body,
+        extra_clients=[Writer("w1", b"one's bytes"), Writer("w2", b"two's bytes")],
+    )
+    assert client.result == b"main data"
+    assert results == {"w1": b"one's bytes", "w2": b"two's bytes"}
+    assert server.open_files == {}  # everything closed

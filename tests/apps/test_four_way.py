@@ -1,0 +1,93 @@
+"""Tests for the four-way bounded buffer (§4.4.2)."""
+
+from repro.apps.four_way import CTRL_Q, CTRL_S, Device, FourWayClient
+from repro.core import Network
+
+RUN_US = 900_000_000.0
+
+
+def items(prefix, n):
+    return [f"{prefix}{i:02d}".encode() for i in range(n)]
+
+
+def build(seed, items_a, items_b, **device_kwargs):
+    net = Network(seed=seed)
+    dev_a = Device(items_a, **device_kwargs)
+    dev_b = Device(items_b, **device_kwargs)
+    net.add_node(program=FourWayClient(dev_a, other_mid=1))
+    net.add_node(program=FourWayClient(dev_b, other_mid=0), boot_at_us=100.0)
+    return net, dev_a, dev_b
+
+
+def test_device_model_produces_and_drains():
+    device = Device([b"x", b"y"], produce_interval_us=10.0, drain_interval_us=10.0)
+    device.poll(100.0)
+    assert device.data_available
+    assert device.read() == b"x"
+    device.write(100.0, b"z")
+    device.poll(300.0)
+    assert device.output == [b"z"]
+
+
+def test_device_flow_control_signals():
+    device = Device([], out_capacity=4, high_water=2, low_water=0,
+                    drain_interval_us=1_000.0)
+    device.write(0.0, b"a")
+    device.write(0.0, b"b")  # hits high water -> ^S queued
+    device.poll(1.0)
+    assert device.read() == CTRL_S
+    # Drain everything; ^Q follows.
+    device.poll(10_000.0)
+    device.poll(20_000.0)
+    assert device.read() == CTRL_Q
+    assert device.output == [b"a", b"b"]
+
+
+def test_device_stops_on_ctrl_s_write():
+    device = Device([b"1", b"2"], produce_interval_us=10.0)
+    device.write(0.0, CTRL_S)
+    device.poll(1_000.0)
+    assert not device.data_available
+    device.write(1_000.0, CTRL_Q)
+    device.poll(2_000.0)
+    assert device.data_available
+
+
+def test_full_relay_both_directions():
+    items_a = items("a", 10)
+    items_b = items("b", 10)
+    net, dev_a, dev_b = build(121, items_a, items_b)
+    done = net.run_until(
+        lambda: dev_a.output == items_b and dev_b.output == items_a,
+        timeout=RUN_US,
+    )
+    assert done, (dev_a.output, dev_b.output)
+
+
+def test_asymmetric_streams():
+    items_a = items("a", 15)
+    items_b = items("b", 3)
+    net, dev_a, dev_b = build(122, items_a, items_b)
+    done = net.run_until(
+        lambda: dev_a.output == items_b and dev_b.output == items_a,
+        timeout=RUN_US,
+    )
+    assert done, (dev_a.output, dev_b.output)
+
+
+def test_flow_control_engages_with_slow_drain():
+    # B's device drains very slowly: A must be told FULL and stop, yet
+    # every item still arrives, in order.
+    items_a = items("a", 12)
+    net = Network(seed=123)
+    dev_a = Device(items_a, produce_interval_us=500.0)
+    dev_b = Device([], produce_interval_us=500.0, drain_interval_us=30_000.0,
+                   out_capacity=4, high_water=3, low_water=1)
+    client_a = FourWayClient(dev_a, other_mid=1, queue_size=3)
+    client_b = FourWayClient(dev_b, other_mid=0, queue_size=3)
+    net.add_node(program=client_a)
+    net.add_node(program=client_b, boot_at_us=100.0)
+    done = net.run_until(lambda: dev_b.output == items_a, timeout=RUN_US)
+    assert done, dev_b.output
+    # Backpressure was actually exercised somewhere along the chain.
+    assert client_b.remote_stops_sent >= 1 or dev_b.xoff_count >= 1

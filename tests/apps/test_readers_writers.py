@@ -1,0 +1,92 @@
+"""Tests for the readers-writers moderator (§4.4.4)."""
+
+from repro.apps.readers_writers import Moderator, ReaderWriterClient
+from repro.core import Network
+
+RUN_US = 300_000_000.0
+
+
+def build(seed, scripts, queue_size=16):
+    net = Network(seed=seed)
+    moderator = Moderator(queue_size=queue_size)
+    net.add_node(program=moderator)
+    shared = {"readers": 0, "writers": 0, "violations": []}
+    clients = []
+    for i, script in enumerate(scripts):
+        client = ReaderWriterClient(0, script, shared)
+        clients.append(client)
+        net.add_node(program=client, boot_at_us=100.0 + i * 53.0)
+    return net, moderator, shared, clients
+
+
+def test_mutual_exclusion_under_mixed_load():
+    scripts = [
+        [("read", 5_000.0, 0.0)] * 4,
+        [("write", 8_000.0, 2_000.0)] * 3,
+        [("read", 3_000.0, 1_000.0), ("write", 4_000.0, 0.0)] * 2,
+        [("write", 2_000.0, 5_000.0), ("read", 6_000.0, 0.0)] * 2,
+    ]
+    net, moderator, shared, clients = build(91, scripts)
+    net.run(until=RUN_US)
+    assert shared["violations"] == []
+    assert all(c.completed_ops == len(s) for c, s in zip(clients, scripts))
+
+
+def test_readers_can_overlap():
+    # Two long readers starting together should overlap (readcount 2).
+    scripts = [
+        [("read", 50_000.0, 0.0)],
+        [("read", 50_000.0, 0.0)],
+    ]
+    net, moderator, shared, clients = build(92, scripts)
+    net.run(until=RUN_US)
+    assert shared["violations"] == []
+    assert moderator.max_concurrent_readers >= 2
+
+
+def test_pending_writer_blocks_new_readers():
+    # Reader A holds the lock; writer W queues; reader B arriving after W
+    # must be granted only after W runs (the paper's fairness rule).
+    order = []
+    scripts = [
+        [("read", 60_000.0, 0.0)],      # A: long read
+        [("write", 10_000.0, 10_000.0)],  # W: queues behind A
+        [("read", 5_000.0, 25_000.0)],    # B: arrives while W pending
+    ]
+    net, moderator, shared, clients = build(93, scripts)
+    net.run(until=RUN_US)
+    assert shared["violations"] == []
+    # Grant order recorded by the moderator: first read (A), then the
+    # writer, then reader B.
+    assert moderator.grants[:3] == ["r", "w", "r"]
+
+
+def test_readers_accumulated_during_write_go_before_next_writer():
+    scripts = [
+        [("write", 100_000.0, 0.0)],                 # W1 runs first
+        [("read", 5_000.0, 40_000.0)],               # R1 queues during W1
+        [("read", 5_000.0, 44_000.0)],               # R2 queues during W1
+        [("write", 5_000.0, 48_000.0)],              # W2 queues during W1
+    ]
+    net, moderator, shared, clients = build(94, scripts)
+    net.run(until=RUN_US)
+    assert shared["violations"] == []
+    assert moderator.grants == ["w", "r", "r", "w"]
+
+
+def test_heavy_random_load_no_violations():
+    import random
+
+    rng = random.Random(7)
+    scripts = []
+    for _ in range(5):
+        script = []
+        for _ in range(6):
+            kind = "read" if rng.random() < 0.6 else "write"
+            script.append((kind, rng.uniform(1_000, 8_000), rng.uniform(0, 4_000)))
+        scripts.append(script)
+    net, moderator, shared, clients = build(95, scripts)
+    net.run(until=600_000_000.0)
+    assert shared["violations"] == []
+    assert all(c.completed_ops == 6 for c in clients)
+    assert moderator.readcount == 0 and moderator.writecount == 0

@@ -1,0 +1,211 @@
+"""Booting, killing, and SYSTEM pattern tests (§3.5)."""
+
+from repro.core import Buffer, ClientProgram, Network, RequestStatus
+from repro.core.boot import (
+    DEFAULT_KILL_PATTERN,
+    SYSTEM_ADD_BOOT,
+    SYSTEM_DELETE_BOOT,
+    SYSTEM_PATTERN,
+    SYSTEM_REPLACE_KILL,
+    ProgramImage,
+    boot_pattern_for,
+    pattern_to_bytes,
+)
+from repro.core.patterns import is_reserved, make_reserved_pattern, make_well_known_pattern
+
+RUN_US = 60_000_000.0
+HELLO = make_well_known_pattern(0o630)
+
+
+class BootedChild(ClientProgram):
+    """The program loaded over the network; advertises HELLO and serves."""
+
+    booted_parents = []
+
+    def initialization(self, api, parent_mid):
+        BootedChild.booted_parents.append(parent_mid)
+        yield from api.advertise(HELLO)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield from api.accept_current_get(put=b"child alive")
+
+
+def child_image() -> ProgramImage:
+    return ProgramImage("child", BootedChild, size_bytes=2048, chunk_bytes=1024)
+
+
+class ParentBooter(ClientProgram):
+    """Discovers a bare node, boots BootedChild on it, then talks to it."""
+
+    def __init__(self, machine_type="bare", kill_after=False):
+        self.machine_type = machine_type
+        self.kill_after = kill_after
+        self.log = []
+
+    def task(self, api):
+        boot_pattern = boot_pattern_for(self.machine_type)
+        target = yield from api.discover(boot_pattern)
+        self.log.append(("found", target.mid))
+        load_sig = yield from api.boot_node(target, child_image())
+        self.log.append(("started", target.mid, load_sig.pattern))
+        reply = Buffer(16)
+        completion = yield from api.b_get(
+            api.server_sig(target.mid, HELLO), get=reply
+        )
+        self.log.append(("reply", reply.data, completion.status))
+        if self.kill_after:
+            # A second SIGNAL on the load pattern kills the child (§3.5.2).
+            yield from api.b_signal(load_sig)
+            self.log.append(("killed", target.mid))
+        yield from api.serve_forever()
+
+
+def test_network_boot_and_talk():
+    net = Network(seed=21)
+    net.add_node(machine_type="bare", name="bare")  # no client: bootable
+    parent = ParentBooter()
+    net.add_node(program=parent, name="parent")
+    BootedChild.booted_parents = []
+    net.run(until=RUN_US)
+    kinds = [entry[0] for entry in parent.log]
+    assert kinds[:2] == ["found", "started"]
+    assert ("reply", b"child alive", RequestStatus.COMPLETED) in parent.log
+    # The child's Initialization saw the parent's MID (§3.7.6).
+    assert BootedChild.booted_parents == [1]
+    # The load pattern handed out is reserved (§3.5.2).
+    load_pattern = parent.log[1][2]
+    assert is_reserved(load_pattern)
+
+
+def test_boot_pattern_unadvertised_after_grant():
+    net = Network(seed=22)
+    net.add_node(machine_type="bare")
+    parent = ParentBooter()
+    net.add_node(program=parent)
+
+    late = {}
+
+    class LateBooter(ClientProgram):
+        def task(self, api):
+            yield api.compute(2_000_000)  # after the first boot finished
+            completion = yield from api.b_get(
+                api.server_sig(0, boot_pattern_for("bare")), get=Buffer(6)
+            )
+            late["status"] = completion.status
+            yield from api.serve_forever()
+
+    net.add_node(program=LateBooter())
+    net.run(until=RUN_US)
+    assert late["status"] is RequestStatus.UNADVERTISED
+
+
+def test_second_load_signal_kills_child():
+    net = Network(seed=23)
+    bare = net.add_node(machine_type="bare")
+    parent = ParentBooter(kill_after=True)
+    net.add_node(program=parent)
+    net.run(until=RUN_US)
+    assert ("killed", 0) in parent.log
+    assert bare.kernel.client is None
+    # The node is bootable again: no client patterns remain.
+    assert bare.kernel.patterns.advertised() == []
+
+
+def test_booted_child_discoverable_and_boot_pattern_readvertised_after_kill():
+    net = Network(seed=27)
+    bare = net.add_node(machine_type="bare")
+    parent = ParentBooter(kill_after=True)
+    net.add_node(program=parent)
+
+    found = {}
+
+    class Prober(ClientProgram):
+        def task(self, api):
+            yield api.compute(5_000_000)  # after kill
+            mids = yield from api.discover_all(boot_pattern_for("bare"))
+            found["bootable"] = mids
+            yield from api.serve_forever()
+
+    net.add_node(program=Prober())
+    net.run(until=RUN_US)
+    assert found["bootable"] == [0]
+
+
+def test_kill_pattern_terminates_any_client():
+    net = Network(seed=24)
+
+    class Victim(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(HELLO)
+
+    victim_node = net.add_node(program=Victim())
+
+    outcome = {}
+
+    class Killer(ClientProgram):
+        def task(self, api):
+            completion = yield from api.b_signal(
+                api.server_sig(0, DEFAULT_KILL_PATTERN)
+            )
+            outcome["status"] = completion.status
+            yield from api.serve_forever()
+
+    net.add_node(program=Killer(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["status"] is RequestStatus.COMPLETED
+    assert victim_node.kernel.client is None
+
+
+def test_system_pattern_requires_mid_zero():
+    net = Network(seed=25)
+    target = net.add_node(mid=5, machine_type="bare")
+
+    outcome = {}
+
+    class Impostor(ClientProgram):
+        def task(self, api):
+            completion = yield from api.b_put(
+                api.server_sig(5, SYSTEM_PATTERN),
+                arg=SYSTEM_REPLACE_KILL,
+                put=pattern_to_bytes(make_reserved_pattern(99)),
+            )
+            outcome["status"] = completion.status
+            yield from api.serve_forever()
+
+    net.add_node(mid=3, program=Impostor())
+    net.run(until=RUN_US)
+    assert outcome["status"] is RequestStatus.UNADVERTISED
+    assert target.kernel.kill_pattern == DEFAULT_KILL_PATTERN
+
+
+def test_system_pattern_mutations_from_mid_zero():
+    net = Network(seed=26)
+
+    target = net.add_node(mid=5, machine_type="bare")
+    new_boot = make_reserved_pattern(0xB007)
+    new_kill = make_reserved_pattern(0xDEAD)
+    old_boot = boot_pattern_for("bare")
+
+    outcome = {}
+
+    class Admin(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(5, SYSTEM_PATTERN)
+            c1 = yield from api.b_put(
+                sig, arg=SYSTEM_ADD_BOOT, put=pattern_to_bytes(new_boot)
+            )
+            c2 = yield from api.b_put(
+                sig, arg=SYSTEM_DELETE_BOOT, put=pattern_to_bytes(old_boot)
+            )
+            c3 = yield from api.b_put(
+                sig, arg=SYSTEM_REPLACE_KILL, put=pattern_to_bytes(new_kill)
+            )
+            outcome["statuses"] = (c1.status, c2.status, c3.status)
+            yield from api.serve_forever()
+
+    net.add_node(mid=0, program=Admin())
+    net.run(until=RUN_US)
+    assert outcome["statuses"] == (RequestStatus.COMPLETED,) * 3
+    assert target.kernel.boot_patterns == [new_boot]
+    assert target.kernel.kill_pattern == new_kill

@@ -1,0 +1,139 @@
+"""Buffer-size combinations across REQUEST and ACCEPT (§3.3.2, §4.1.2)."""
+
+import pytest
+
+from repro.core import Buffer, ClientProgram, Network, RequestStatus
+from repro.core.patterns import make_well_known_pattern
+
+from tests.conftest import make_pair
+
+PATTERN = make_well_known_pattern(0o600)
+RUN_US = 30_000_000.0
+
+
+class SizedServer(ClientProgram):
+    """Accepts with configurable buffer sizes and reply payload."""
+
+    def __init__(self, reply=b"", accept_capacity=None):
+        self.reply = reply
+        self.accept_capacity = accept_capacity
+        self.seen = []
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(PATTERN)
+
+    def handler(self, api, event):
+        if not event.is_arrival:
+            return
+        capacity = (
+            event.put_size
+            if self.accept_capacity is None
+            else self.accept_capacity
+        )
+        buf = Buffer(capacity)
+        yield from api.accept_current_exchange(get=buf, put=self.reply)
+        self.seen.append((buf.data, event.put_size, event.get_size))
+
+
+def test_partial_final_chunk_get(network):
+    # §4.1.2's file-read example: the requester offers a big buffer, the
+    # server replies with a smaller final chunk; taken_get says how much.
+    server = SizedServer(reply=b"tail")
+
+    def body(api, self):
+        buf = Buffer(100)
+        completion = yield from api.b_get(api.server_sig(0, PATTERN), get=buf)
+        return completion, buf.data
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    completion, data = client.result
+    assert data == b"tail"
+    assert completion.taken_get == 4
+    assert completion.status is RequestStatus.COMPLETED
+
+
+def test_requester_buffer_smaller_than_reply(network):
+    # The server offers more than the requester asked for; the kernel
+    # truncates to the REQUEST's get capacity.
+    server = SizedServer(reply=b"0123456789")
+
+    def body(api, self):
+        buf = Buffer(4)
+        completion = yield from api.b_get(api.server_sig(0, PATTERN), get=buf)
+        return completion, buf.data
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    completion, data = client.result
+    assert data == b"0123"
+    assert completion.taken_get == 4
+
+
+def test_server_offers_nothing_for_get(network):
+    server = SizedServer(reply=b"")
+
+    def body(api, self):
+        buf = Buffer(16)
+        completion = yield from api.b_get(api.server_sig(0, PATTERN), get=buf)
+        return completion, buf.data
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    completion, data = client.result
+    assert data == b""
+    assert completion.taken_get == 0
+    assert completion.status is RequestStatus.COMPLETED
+
+
+def test_zero_capacity_accept_of_put(network):
+    # The server ACCEPTs a PUT with a NIL buffer: the data is refused
+    # (taken_put 0) but the transaction completes.
+    server = SizedServer(accept_capacity=0)
+
+    def body(api, self):
+        completion = yield from api.b_put(
+            api.server_sig(0, PATTERN), put=b"unwanted"
+        )
+        return completion
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    assert client.result.status is RequestStatus.COMPLETED
+    assert client.result.taken_put == 0
+    assert server.seen[0][0] == b""
+
+
+def test_exchange_with_asymmetric_sizes(network):
+    server = SizedServer(reply=b"abcdefgh", accept_capacity=3)
+
+    def body(api, self):
+        buf = Buffer(5)
+        completion = yield from api.b_exchange(
+            api.server_sig(0, PATTERN), put=b"0123456789", get=buf
+        )
+        return completion, buf.data
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    completion, data = client.result
+    assert completion.taken_put == 3   # server's buffer capped at 3
+    assert completion.taken_get == 5   # our buffer capped at 5
+    assert data == b"abcde"
+    assert server.seen[0][0] == b"012"
+
+
+def test_empty_put_data_is_a_signal(network):
+    server = SizedServer()
+
+    def body(api, self):
+        completion = yield from api.b_put(api.server_sig(0, PATTERN), put=b"")
+        return completion
+
+    _, client = make_pair(network, server, body)
+    network.run(until=RUN_US)
+    assert client.result.status is RequestStatus.COMPLETED
+    assert client.result.taken_put == 0
+    # Only two packets total for the transaction after discovery-free
+    # direct addressing: REQUEST and ACCEPT(+ack).
+    assert server.seen[0][1] == 0  # put_size seen by handler

@@ -1,0 +1,145 @@
+"""Unit tests for buffers, signatures, timing model, kernel config, boot helpers."""
+
+import pytest
+
+from repro.core.boot import (
+    ProgramImage,
+    boot_pattern_for,
+    mids_from_bytes,
+    mids_to_bytes,
+    pattern_from_bytes,
+    pattern_to_bytes,
+)
+from repro.core.buffers import Buffer, buffer_or_nil
+from repro.core.config import KernelConfig, TimingModel
+from repro.core.patterns import is_reserved
+from repro.core.signatures import RequesterSignature, ServerSignature
+
+
+# -- Buffer -----------------------------------------------------------------
+
+
+def test_buffer_write_truncates_to_capacity():
+    buf = Buffer(3)
+    stored = buf.write(b"abcdef")
+    assert stored == 3
+    assert buf.data == b"abc"
+
+
+def test_buffer_nil_inhibits_transfer():
+    nil = Buffer.nil()
+    assert nil.capacity == 0
+    assert nil.write(b"xyz") == 0
+    assert nil.data == b""
+
+
+def test_buffer_from_bytes_exact():
+    buf = Buffer.from_bytes(b"hello")
+    assert buf.capacity == 5
+    assert buf.data == b"hello"
+
+
+def test_buffer_for_words():
+    assert Buffer.for_words(100).capacity == 200
+
+
+def test_buffer_invalid_construction():
+    with pytest.raises(ValueError):
+        Buffer(-1)
+    with pytest.raises(ValueError):
+        Buffer(1, b"too long")
+
+
+def test_buffer_or_nil():
+    assert buffer_or_nil(None).capacity == 0
+    buf = Buffer(4)
+    assert buffer_or_nil(buf) is buf
+
+
+def test_buffer_len_and_clear():
+    buf = Buffer.from_bytes(b"xy")
+    assert len(buf) == 2
+    buf.clear()
+    assert len(buf) == 0
+
+
+# -- signatures -----------------------------------------------------------------
+
+
+def test_signatures_hashable_and_distinct():
+    s1 = ServerSignature(1, 0o7)
+    s2 = ServerSignature(1, 0o7)
+    assert s1 == s2 and hash(s1) == hash(s2)
+    assert ServerSignature(2, 0o7) != s1
+    r1 = RequesterSignature(1, 5)
+    assert r1 == RequesterSignature(1, 5)
+    assert r1 != RequesterSignature(1, 6)
+
+
+# -- timing model ------------------------------------------------------------------
+
+
+def test_timing_defaults_reproduce_breakdown_table():
+    tm = TimingModel()
+    # Two-packet SIGNAL: four packet-handling steps across two kernels.
+    protocol = 4 * tm.protocol_send_us  # send == recv cost by default
+    connection = 4 * tm.connection_timer_us
+    retransmit = 2 * tm.retransmit_timer_us
+    context = 2 * tm.context_switch_us
+    client = 2 * tm.client_overhead_us()
+    assert protocol == pytest.approx(2_000.0)
+    assert connection == pytest.approx(1_000.0)
+    assert retransmit == pytest.approx(700.0)
+    assert context == pytest.approx(800.0)
+    assert client == pytest.approx(2_200.0)
+
+
+def test_per_word_cost_calibration():
+    tm = TimingModel()
+    # 12 us per word per copy; two copies plus 16 us of wire = ~40 us/word.
+    word = tm.word_bytes
+    assert 2 * tm.copy_cost_us(word) + word * 8.0 == pytest.approx(40.0)
+
+
+def test_kernel_config_validation():
+    with pytest.raises(ValueError):
+        KernelConfig(max_requests=0)
+    with pytest.raises(ValueError):
+        KernelConfig(max_message_bytes=-1)
+
+
+# -- boot helpers --------------------------------------------------------------------
+
+
+def test_boot_pattern_is_reserved_and_type_specific():
+    a = boot_pattern_for("pdp11")
+    b = boot_pattern_for("vax750")
+    assert is_reserved(a) and is_reserved(b)
+    assert a != b
+    assert boot_pattern_for("pdp11") == a  # deterministic
+
+
+def test_pattern_round_trip_encoding():
+    pattern = boot_pattern_for("anything")
+    assert pattern_from_bytes(pattern_to_bytes(pattern)) == pattern
+
+
+def test_pattern_from_short_bytes_rejected():
+    with pytest.raises(ValueError):
+        pattern_from_bytes(b"\x00\x01")
+
+
+def test_mids_round_trip():
+    mids = [0, 1, 513]
+    assert mids_from_bytes(mids_to_bytes(mids)) == mids
+
+
+def test_mids_from_odd_bytes_drops_tail():
+    assert mids_from_bytes(b"\x00\x01\x00") == [1]
+
+
+def test_program_image_chunks_cover_size():
+    image = ProgramImage("p", program_factory=object, size_bytes=2500, chunk_bytes=1024)
+    chunks = list(image.chunks())
+    assert chunks == [(0, 1024), (1024, 1024), (2048, 452)]
+    assert sum(n for _, n in chunks) == image.size_bytes

@@ -1,0 +1,63 @@
+"""A busy (but alive) server must never be declared crashed (§5.2.2)."""
+
+from repro.core import ClientProgram, Network, RequestStatus
+from repro.core.patterns import make_well_known_pattern
+
+PATTERN = make_well_known_pattern(0o607)
+
+
+def test_long_busy_handler_not_declared_dead():
+    # The server's handler stays busy for far longer than the dead-peer
+    # exhaustion window (8 attempts x ~64 ms); the client's REQUEST must
+    # keep retrying on the slow schedule and complete in the end.
+    net = Network(seed=191)
+
+    class VeryBusy(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                if event.arg == 0:
+                    yield api.compute(1_500_000)  # 1.5 s inside the handler
+                yield from api.accept_current_signal()
+
+    outcome = {}
+
+    class Patient(ClientProgram):
+        def task(self, api):
+            first = yield from api.signal(api.server_sig(0, PATTERN), arg=0)
+            future = api.watch_completion(first)
+            yield api.compute(5_000)
+            # This one meets the busy handler for 1.5 s of retries.
+            second = yield from api.b_signal(api.server_sig(0, PATTERN), arg=1)
+            outcome["second"] = second.status
+            c1 = yield from api.wait_completion(first, future)
+            outcome["first"] = c1.status
+            yield from api.serve_forever()
+
+    net.add_node(program=VeryBusy())
+    net.add_node(program=Patient(), boot_at_us=100.0)
+    net.run(until=60_000_000.0)
+    assert outcome.get("first") is RequestStatus.COMPLETED
+    assert outcome.get("second") is RequestStatus.COMPLETED
+    assert net.sim.trace.count("conn.peer_dead") == 0
+    assert net.sim.trace.count("conn.busy_retry") >= 5
+
+
+def test_program_exception_surfaces_loudly():
+    # A bug in client code must crash the simulation run, not vanish.
+    net = Network(seed=192)
+
+    class Broken(ClientProgram):
+        def task(self, api):
+            yield api.compute(1_000)
+            raise ZeroDivisionError("client bug")
+
+    net.add_node(program=Broken())
+    try:
+        net.run(until=1_000_000.0)
+        raised = False
+    except ZeroDivisionError:
+        raised = True
+    assert raised

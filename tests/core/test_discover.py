@@ -1,0 +1,141 @@
+"""DISCOVER tests (§3.4.4, §5.3, §6.16)."""
+
+from repro.core import Buffer, ClientProgram, Network, RequestStatus
+from repro.core.patterns import make_well_known_pattern
+
+RUN_US = 30_000_000.0
+SERVICE = make_well_known_pattern(0o620)
+
+
+class Advertiser(ClientProgram):
+    def __init__(self, pattern=SERVICE):
+        self.pattern = pattern
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(self.pattern)
+
+
+def test_discover_returns_all_matching_mids():
+    net = Network(seed=31)
+    for mid in range(4):
+        net.add_node(mid=mid, program=Advertiser())
+    found = {}
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            mids = yield from api.discover_all(SERVICE, max_replies=8)
+            found["mids"] = mids
+            yield from api.serve_forever()
+
+    net.add_node(mid=9, program=Seeker(), boot_at_us=1_000.0)
+    net.run(until=RUN_US)
+    assert found["mids"] == [0, 1, 2, 3]
+
+
+def test_discover_buffer_caps_replies():
+    # "up to the number that will fit in the buffer" (§3.4.4)
+    net = Network(seed=32)
+    for mid in range(5):
+        net.add_node(mid=mid, program=Advertiser())
+    found = {}
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            mids = yield from api.discover_all(SERVICE, max_replies=2)
+            found["mids"] = mids
+            yield from api.serve_forever()
+
+    net.add_node(mid=9, program=Seeker(), boot_at_us=1_000.0)
+    net.run(until=RUN_US)
+    assert len(found["mids"]) == 2
+
+
+def test_discover_transparent_to_server_clients():
+    # "no information about a DISCOVER is ever presented to a client"
+    net = Network(seed=33)
+    handler_events = []
+
+    class Watchful(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(SERVICE)
+
+        def handler(self, api, event):
+            handler_events.append(event)
+            return
+            yield  # pragma: no cover
+
+    net.add_node(program=Watchful())
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            yield from api.discover_all(SERVICE)
+            yield from api.serve_forever()
+
+    net.add_node(program=Seeker(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert handler_events == []
+
+
+def test_discover_nothing_returns_empty():
+    net = Network(seed=34)
+    found = {}
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            mids = yield from api.discover_all(SERVICE)
+            found["mids"] = mids
+            yield from api.serve_forever()
+
+    net.add_node(program=Seeker())
+    net.run(until=RUN_US)
+    assert found["mids"] == []
+
+
+def test_discover_replies_are_staggered_by_mid():
+    net = Network(seed=35)
+    for mid in range(3):
+        net.add_node(mid=mid, program=Advertiser())
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            yield from api.discover_all(SERVICE)
+            yield from api.serve_forever()
+
+    net.add_node(mid=8, program=Seeker(), boot_at_us=1_000.0)
+    net.run(until=RUN_US)
+    replies = [
+        r
+        for r in net.sim.trace.records
+        if r.category == "kernel.tx" and r.get("ptype") == "discover_reply"
+    ]
+    times = {r["mid"]: r.time for r in replies}
+    assert times[0] < times[1] < times[2]
+    stagger = net.config.discover_stagger_us
+    assert times[1] - times[0] >= stagger * 0.9
+
+
+def test_discover_counts_against_maxrequests_until_done():
+    net = Network(seed=36)
+    outcome = {}
+
+    class Seeker(ClientProgram):
+        def task(self, api):
+            from repro.core.errors import TooManyRequestsError
+            from repro.core.patterns import BROADCAST
+
+            for _ in range(net.config.max_requests):
+                yield from api.get(
+                    api.server_sig(BROADCAST, SERVICE), get=Buffer(2)
+                )
+            try:
+                yield from api.get(
+                    api.server_sig(BROADCAST, SERVICE), get=Buffer(2)
+                )
+                outcome["extra"] = "allowed"
+            except TooManyRequestsError:
+                outcome["extra"] = "limited"
+            yield from api.serve_forever()
+
+    net.add_node(program=Seeker())
+    net.run(until=RUN_US)
+    assert outcome["extra"] == "limited"

@@ -1,0 +1,158 @@
+"""Packet-count tests: the protocol shapes of §5.2.3 / §5.5.
+
+The paper's performance table is driven by packets-per-transaction in
+steady state — server ACCEPTs in its handler, and the requester keeps
+MAXREQUESTS=3 non-blocking REQUESTs outstanding (§5.5: "client REQUESTS
+may be queued by the kernel while the current REQUEST is being
+delivered").  The expected shapes:
+
+* PUT:      2 packets, pipelined or not;
+* GET:      4 packets non-pipelined, 2 pipelined;
+* EXCHANGE: 6 packets non-pipelined, 2 pipelined;
+* 0-length requests degenerate to SIGNAL cost (2 packets).
+
+These emerge from piggybacking + the BUSY-handler dance; nothing in the
+kernel hard-codes them, so these tests pin the mechanism.
+"""
+
+import pytest
+
+from repro.core import Buffer, ClientProgram, KernelConfig, Network
+from repro.core.patterns import make_well_known_pattern
+
+PATTERN = make_well_known_pattern(0o555)
+STREAM_LEN = 14
+WARMUP = 5
+OUTSTANDING = 3
+
+
+class StreamServer(ClientProgram):
+    """Accepts every arrival in the handler with symmetric buffers."""
+
+    def __init__(self, reply_bytes: int) -> None:
+        self.reply = bytes(reply_bytes)
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_exchange(
+                get=buf, put=self.reply[: event.get_size]
+            )
+
+
+class StreamClient(ClientProgram):
+    """Keeps OUTSTANDING non-blocking requests in flight (§5.5 workload)."""
+
+    def __init__(self, put_bytes: int, get_bytes: int, total: int = STREAM_LEN):
+        self.put_bytes = put_bytes
+        self.get_bytes = get_bytes
+        self.total = total
+        self.issued = 0
+        self.marks = []
+
+    def _issue(self, api):
+        payload = bytes(self.put_bytes)
+        buf = Buffer(self.get_bytes)
+        self.issued += 1
+        yield from api.request(
+            api.server_sig(0, PATTERN), put=payload, get=buf
+        )
+
+    def task(self, api):
+        for _ in range(min(OUTSTANDING, self.total)):
+            yield from self._issue(api)
+        yield from api.serve_forever()
+
+    def handler(self, api, event):
+        if event.is_completion:
+            self.marks.append((api.now, api.kernel.nic.bus.frames_sent))
+            if self.issued < self.total:
+                yield from self._issue(api)
+
+
+def run_stream(pipelined: bool, put_bytes: int, get_bytes: int):
+    net = Network(seed=5, config=KernelConfig(pipelined=pipelined))
+    net.add_node(program=StreamServer(reply_bytes=get_bytes))
+    client = StreamClient(put_bytes, get_bytes)
+    net.add_node(program=client, boot_at_us=100.0)
+    net.run(until=120_000_000.0)
+    assert len(client.marks) == STREAM_LEN, (
+        f"stream did not finish: {len(client.marks)}/{STREAM_LEN}"
+    )
+    frames = [f for _, f in client.marks]
+    times = [t for t, _ in client.marks]
+    # Steady-state packets and latency per transaction (skip warmup).
+    n = STREAM_LEN - WARMUP - 1
+    pkts = (frames[-1] - frames[WARMUP]) / n
+    ms = (times[-1] - times[WARMUP]) / n / 1000.0
+    return pkts, ms
+
+
+def test_put_stream_is_two_packets_nonpipelined():
+    pkts, _ = run_stream(False, put_bytes=200, get_bytes=0)
+    assert pkts == pytest.approx(2.0, abs=0.3)
+
+
+def test_put_stream_is_two_packets_pipelined():
+    pkts, _ = run_stream(True, put_bytes=200, get_bytes=0)
+    assert pkts == pytest.approx(2.0, abs=0.3)
+
+
+def test_get_stream_four_packets_nonpipelined():
+    pkts, _ = run_stream(False, put_bytes=0, get_bytes=200)
+    assert pkts == pytest.approx(4.0, abs=0.5)
+
+
+def test_get_stream_two_packets_pipelined():
+    pkts, _ = run_stream(True, put_bytes=0, get_bytes=200)
+    assert pkts == pytest.approx(2.0, abs=0.3)
+
+
+def test_exchange_stream_six_packets_nonpipelined():
+    pkts, _ = run_stream(False, put_bytes=200, get_bytes=200)
+    assert pkts == pytest.approx(6.0, abs=0.75)
+
+
+def test_exchange_stream_two_packets_pipelined():
+    pkts, _ = run_stream(True, put_bytes=200, get_bytes=200)
+    assert pkts == pytest.approx(2.0, abs=0.3)
+
+
+def test_signal_stream_two_packets_both_kernels():
+    for pipelined in (False, True):
+        pkts, _ = run_stream(pipelined, put_bytes=0, get_bytes=0)
+        assert pkts == pytest.approx(2.0, abs=0.3), f"pipelined={pipelined}"
+
+
+def test_pipelined_exchange_faster_than_nonpipelined():
+    _, ms_np = run_stream(False, put_bytes=800, get_bytes=800)
+    _, ms_p = run_stream(True, put_bytes=800, get_bytes=800)
+    assert ms_p < ms_np
+
+
+def test_pipelined_get_faster_than_nonpipelined():
+    _, ms_np = run_stream(False, put_bytes=0, get_bytes=800)
+    _, ms_p = run_stream(True, put_bytes=0, get_bytes=800)
+    assert ms_p < ms_np
+
+
+def test_put_latency_grows_linearly_with_size():
+    _, small = run_stream(False, put_bytes=2, get_bytes=0)
+    _, large = run_stream(False, put_bytes=2002, get_bytes=0)
+    # ~40 us/word * 1000 words = ~40 ms of marginal cost.
+    assert large - small == pytest.approx(40.0, rel=0.4)
+
+
+def test_exchange_data_crosses_twice_nonpipelined():
+    # Non-pipelined EXCHANGE wastes the first data transmission (§5.2.3),
+    # so its per-word slope is well over twice the PUT slope.
+    _, put_small = run_stream(False, put_bytes=2, get_bytes=0)
+    _, put_large = run_stream(False, put_bytes=2002, get_bytes=0)
+    _, ex_small = run_stream(False, put_bytes=2, get_bytes=2)
+    _, ex_large = run_stream(False, put_bytes=2002, get_bytes=2002)
+    put_slope = put_large - put_small
+    ex_slope = ex_large - ex_small
+    assert ex_slope > 2.0 * put_slope

@@ -1,0 +1,157 @@
+"""Unit tests for patterns, unique ids, and the pattern table (§3.4, §5.4)."""
+
+import pytest
+
+from repro.core.patterns import (
+    PATTERNSIZE,
+    UNIQUEID_BITS,
+    PatternTable,
+    UniqueIdGenerator,
+    is_reserved,
+    is_unique_id,
+    is_well_known,
+    make_reserved_pattern,
+    make_well_known_pattern,
+)
+
+
+def test_class_bits_partition_the_space():
+    reserved = make_reserved_pattern(5)
+    known = make_well_known_pattern(5)
+    assert is_reserved(reserved) and not is_well_known(reserved)
+    assert is_well_known(known) and not is_reserved(known)
+    assert reserved != known
+
+
+def test_unique_ids_avoid_class_bits():
+    gen = UniqueIdGenerator(serial=200)
+    pattern = gen.next_pattern()
+    assert is_unique_id(pattern)
+    assert not is_reserved(pattern)
+    assert not is_well_known(pattern)
+    assert pattern < (1 << UNIQUEID_BITS)
+
+
+def test_unique_ids_embed_serial_and_counter():
+    gen = UniqueIdGenerator(serial=7, boot_counter=100)
+    p = gen.next_pattern()
+    assert p >> 32 == 7
+    assert p & 0xFFFFFFFF == 100
+
+
+def test_unique_ids_never_repeat_across_machines():
+    gen_a = UniqueIdGenerator(serial=1)
+    gen_b = UniqueIdGenerator(serial=2)
+    ids = {gen_a.next_pattern() for _ in range(100)}
+    ids |= {gen_b.next_pattern() for _ in range(100)}
+    assert len(ids) == 200
+
+
+def test_tids_share_the_counter():
+    gen = UniqueIdGenerator(serial=1, boot_counter=10)
+    tid = gen.next_tid()
+    pattern = gen.next_pattern()
+    assert tid == 10
+    assert pattern & 0xFFFFFFFF == 11
+
+
+def test_reboot_must_be_monotonic():
+    gen = UniqueIdGenerator(serial=1, boot_counter=50)
+    gen.next_tid()
+    gen.reboot(100)
+    assert gen.next_tid() == 100
+    with pytest.raises(ValueError):
+        gen.reboot(5)
+
+
+def test_serial_range_validated():
+    with pytest.raises(ValueError):
+        UniqueIdGenerator(serial=256)
+
+
+def test_well_known_value_range_validated():
+    with pytest.raises(ValueError):
+        make_well_known_pattern(1 << 47)
+
+
+def test_pattern_is_48_bits():
+    top = make_reserved_pattern((1 << 46) - 1)
+    assert top < (1 << PATTERNSIZE)
+
+
+# -- exact-match table (ideal §3.4 semantics) -----------------------------------
+
+
+def test_exact_table_advertise_unadvertise():
+    table = PatternTable()
+    table.advertise(0o123)
+    assert table.matches(0o123)
+    table.unadvertise(0o123)
+    assert not table.matches(0o123)
+
+
+def test_exact_table_multiple_patterns():
+    table = PatternTable()
+    for p in (1, 2, 256 + 1):  # 1 and 257 share the low byte
+        table.advertise(p)
+    assert table.matches(1)
+    assert table.matches(257)
+    assert sorted(table.advertised()) == [1, 2, 257]
+
+
+def test_reserved_patterns_not_advertisable():
+    table = PatternTable()
+    with pytest.raises(ValueError):
+        table.advertise(make_reserved_pattern(1))
+    with pytest.raises(ValueError):
+        table.unadvertise(make_reserved_pattern(1))
+
+
+def test_clear_drops_everything():
+    table = PatternTable()
+    table.advertise(1)
+    table.advertise(2)
+    table.clear()
+    assert not table.matches(1)
+    assert table.advertised() == []
+
+
+def test_unadvertise_missing_is_noop():
+    table = PatternTable()
+    table.unadvertise(99)  # must not raise
+
+
+# -- direct-index table (the §5.4 experimental kernel) ----------------------------
+
+
+def test_direct_index_overwrite_on_low_byte_collision():
+    table = PatternTable(direct_index=True)
+    table.advertise(0x01_01)
+    table.advertise(0x02_01)  # same low byte 0x01
+    assert not table.matches(0x01_01)  # overwritten, per §5.4
+    assert table.matches(0x02_01)
+
+
+def test_direct_index_distinct_slots_coexist():
+    table = PatternTable(direct_index=True)
+    table.advertise(0x01)
+    table.advertise(0x02)
+    assert table.matches(0x01) and table.matches(0x02)
+
+
+def test_direct_index_unadvertise_only_exact():
+    table = PatternTable(direct_index=True)
+    table.advertise(0x02_01)
+    table.unadvertise(0x01_01)  # same slot, different pattern: no-op
+    assert table.matches(0x02_01)
+    table.unadvertise(0x02_01)
+    assert not table.matches(0x02_01)
+
+
+def test_direct_index_sequential_unique_ids_get_distinct_slots():
+    gen = UniqueIdGenerator(serial=3)
+    table = PatternTable(direct_index=True)
+    patterns = [gen.next_pattern() for _ in range(10)]
+    for p in patterns:
+        table.advertise(p)
+    assert all(table.matches(p) for p in patterns)

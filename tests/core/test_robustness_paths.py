@@ -1,0 +1,163 @@
+"""Robustness: stray/stale packets must never crash or confuse a kernel."""
+
+import pytest
+
+from repro.core import ClientProgram, Network, RequestStatus
+from repro.core.patterns import make_well_known_pattern
+from repro.transport.packet import NackCode, Packet, PacketType
+
+from tests.conftest import ECHO_PATTERN, EchoServer
+
+PATTERN = make_well_known_pattern(0o601)
+RUN_US = 30_000_000.0
+
+
+def inject(net, src_node, dst_mid, packet):
+    """Send a raw packet from one node's kernel, bypassing its logic."""
+    src_node.kernel.nic.send(dst_mid, packet, payload_bytes=packet.data_bytes)
+
+
+def test_stray_ack_ignored(network):
+    server = network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    inject(network, other, 0, Packet(PacketType.ACK, ack=1))
+    network.run(until=50_000.0)  # must not raise
+
+
+def test_stray_error_nacks_ignored(network):
+    network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    for code in (NackCode.UNADVERTISED, NackCode.CANCELLED, NackCode.CRASHED):
+        inject(
+            network, other, 0,
+            Packet(PacketType.NACK, nack_code=code, tid=999, ack=None),
+        )
+    network.run(until=50_000.0)
+
+
+def test_stray_busy_nack_ignored(network):
+    network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    inject(
+        network, other, 0,
+        Packet(PacketType.NACK, nack_code=NackCode.BUSY, nacked_seq=0),
+    )
+    network.run(until=50_000.0)
+
+
+def test_probe_for_unknown_request_reports_dead(network):
+    node = network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    replies = []
+    original = other.kernel._process_packet
+
+    def spy(src, packet):
+        if packet.ptype is PacketType.PROBE_REPLY:
+            replies.append(packet.arg)
+        original(src, packet)
+
+    other.kernel._process_packet = spy
+    inject(network, other, 0, Packet(PacketType.PROBE, tid=424242))
+    network.run(until=100_000.0)
+    assert replies == [0]  # dead
+
+
+def test_stale_discover_reply_ignored(network):
+    network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    inject(
+        network, other, 0,
+        Packet(PacketType.DISCOVER_REPLY, reply_mid=5, query_token=777),
+    )
+    network.run(until=50_000.0)
+
+
+def test_cancel_reply_for_unknown_tid_ignored(network):
+    network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    inject(
+        network, other, 0,
+        Packet(PacketType.CANCEL_REPLY, tid=31337, arg=1),
+    )
+    network.run(until=50_000.0)
+
+
+def test_data_packet_with_no_pending_accept_ignored(network):
+    network.add_node(program=EchoServer())
+    other = network.add_node()
+    network.run(until=10_000.0)
+    inject(
+        network, other, 0,
+        Packet(PacketType.DATA, tid=5, data=b"orphan", seq=0),
+    )
+    network.run(until=50_000.0)
+
+
+def test_forged_accept_for_never_issued_tid_nacked(network):
+    # A malicious client ACCEPTs a guessed signature; the victim's kernel
+    # NACKs it CANCELLED (tid above the watermark but unknown).
+    victim_node = network.add_node(program=EchoServer())
+    attacker = network.add_node()
+    network.run(until=10_000.0)
+    seen = []
+    original = attacker.kernel._process_packet
+
+    def spy(src, packet):
+        if packet.ptype is PacketType.NACK:
+            seen.append(packet.nack_code)
+        original(src, packet)
+
+    attacker.kernel._process_packet = spy
+    inject(
+        network, attacker, 0,
+        Packet(PacketType.ACCEPT, tid=10**6, arg=0, seq=0),
+    )
+    network.run(until=100_000.0)
+    assert NackCode.CANCELLED in seen
+
+
+def test_checkers_idiom_async_update(network):
+    """§6.6: a handler silently updates a variable the task uses -- the
+    reason SODA provides asynchronous receipt."""
+    VALUE = make_well_known_pattern(0o606)
+    observed = []
+
+    class Searcher(ClientProgram):
+        def initialization(self, api, parent_mid):
+            self.best = 100
+            yield from api.advertise(VALUE)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                self.best = event.arg  # no polling anywhere
+                yield from api.accept_current_signal()
+
+        def task(self, api):
+            # A compute loop that picks up updates with zero polling
+            # overhead in the loop body.
+            for _ in range(200):
+                observed.append(self.best)
+                yield api.compute(1_000)
+            yield from api.serve_forever()
+
+    class Improver(ClientProgram):
+        def task(self, api):
+            for value in (50, 20, 7):
+                yield api.compute(30_000)
+                yield from api.b_signal(api.server_sig(0, VALUE), arg=value)
+            yield from api.serve_forever()
+
+    network.add_node(program=Searcher())
+    network.add_node(program=Improver(), boot_at_us=100.0)
+    network.run(until=RUN_US)
+    assert observed[0] == 100
+    assert 7 in observed
+    # Updates arrive monotonically in this script.
+    distinct = sorted(set(observed), reverse=True)
+    assert distinct == [100, 50, 20, 7]

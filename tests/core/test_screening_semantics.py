@@ -1,0 +1,188 @@
+"""Pattern-screening semantics (§3.4.1, §6.12).
+
+The subtle rule: "Once a REQUEST has been delivered to the server
+handler, screening on the pattern is no longer applied.  Thus,
+UNADVERTISE on a pattern will not affect a REQUEST that has arrived at
+the server handler but not yet been ACCEPTED."  Plus the idioms §6.12
+builds on screening: once-only service and load control.
+"""
+
+from repro.core import (
+    AcceptStatus,
+    ClientProgram,
+    Network,
+    RequestStatus,
+)
+from repro.core.patterns import make_well_known_pattern
+
+from tests.conftest import make_pair
+
+PATTERN = make_well_known_pattern(0o602)
+RUN_US = 30_000_000.0
+
+
+def test_unadvertise_does_not_affect_delivered_request(network):
+    outcome = {}
+
+    class Server(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                self.asker = event.asker
+                # Unadvertise *before* accepting: must not matter.
+                yield from api.unadvertise(PATTERN)
+
+        def task(self, api):
+            yield from api.poll(lambda: hasattr(self, "asker"))
+            yield api.compute(20_000)
+            status = yield from api.accept_signal(self.asker)
+            outcome["accept"] = status
+            yield from api.serve_forever()
+
+    def body(api, self):
+        completion = yield from api.b_signal(api.server_sig(0, PATTERN))
+        return completion.status
+
+    _, client = make_pair(network, Server(), body)
+    network.run(until=RUN_US)
+    assert client.result is RequestStatus.COMPLETED
+    assert outcome["accept"] is AcceptStatus.SUCCESS
+
+
+def test_once_only_service(network):
+    """A server that unadvertises on first arrival serves exactly one
+    requester; the rest are told UNADVERTISED (§6.12)."""
+
+    class OneShot(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                yield from api.unadvertise(PATTERN)
+                yield from api.accept_current_signal()
+
+    results = {}
+
+    class Contender(ClientProgram):
+        def __init__(self, name):
+            self.name = name
+
+        def task(self, api):
+            completion = yield from api.b_signal(api.server_sig(0, PATTERN))
+            results[self.name] = completion.status
+            yield from api.serve_forever()
+
+    network.add_node(program=OneShot())
+    network.add_node(program=Contender("a"), boot_at_us=100.0)
+    network.add_node(program=Contender("b"), boot_at_us=40_000.0)
+    network.run(until=RUN_US)
+    assert results["a"] is RequestStatus.COMPLETED
+    assert results["b"] is RequestStatus.UNADVERTISED
+
+
+def test_load_control_via_unadvertise_and_discover():
+    """§6.12: a swamped server UNADVERTISEs its pattern, steering
+    DISCOVER traffic to a replica using the same pattern."""
+    net = Network(seed=19)
+
+    class Replica(ClientProgram):
+        def __init__(self, advertise=True):
+            self.should_advertise = advertise
+            self.served = 0
+
+        def initialization(self, api, parent_mid):
+            if self.should_advertise:
+                yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                self.served += 1
+                yield from api.accept_current_signal()
+                if self.served >= 2:
+                    # Swamped: shed load.
+                    yield from api.unadvertise(PATTERN)
+
+    first, second = Replica(), Replica()
+    net.add_node(program=first)
+    net.add_node(program=second)
+    found = []
+
+    class Client(ClientProgram):
+        def task(self, api):
+            for _ in range(4):
+                mids = yield from api.discover_all(PATTERN, max_replies=4)
+                target = mids[0]
+                found.append(target)
+                yield from api.b_signal(api.server_sig(target, PATTERN))
+                yield api.compute(10_000)
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    # The first two went to MID 0; once it shed load, DISCOVER returned
+    # only MID 1.
+    assert found[:2] == [0, 0]
+    assert found[2:] == [1, 1]
+    assert first.served == 2
+    assert second.served == 2
+
+
+def test_same_pattern_on_multiple_servers_is_legal(network):
+    """'It is perfectly valid for several clients to ADVERTISE the same
+    pattern' (§3.4.2): direct requests reach the named MID only."""
+
+    class Named(ClientProgram):
+        def __init__(self):
+            self.hits = 0
+
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                self.hits += 1
+                yield from api.accept_current_signal()
+
+    a, b = Named(), Named()
+    network.add_node(program=a)
+    network.add_node(program=b)
+    done = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            yield from api.b_signal(api.server_sig(1, PATTERN))
+            done["ok"] = True
+            yield from api.serve_forever()
+
+    network.add_node(program=Client(), boot_at_us=100.0)
+    network.run(until=RUN_US)
+    assert done["ok"]
+    assert (a.hits, b.hits) == (0, 1)
+
+
+def test_request_argument_screening_is_client_business(network):
+    """The kernel passes the one-word argument through untouched; the
+    client screens on it (§6.11) -- here, rejecting odd arguments."""
+
+    class Picky(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                if event.arg % 2 == 1:
+                    yield from api.reject()
+                else:
+                    yield from api.accept_current_signal()
+
+    def body(api, self):
+        even = yield from api.b_signal(api.server_sig(0, PATTERN), arg=4)
+        odd = yield from api.b_signal(api.server_sig(0, PATTERN), arg=5)
+        return even.status, odd.status
+
+    _, client = make_pair(network, Picky(), body)
+    network.run(until=RUN_US)
+    assert client.result == (RequestStatus.COMPLETED, RequestStatus.REJECTED)

@@ -1,0 +1,68 @@
+"""Tests for TimingModel scaling and config interactions."""
+
+import pytest
+
+from repro.core.config import KernelConfig, TimingModel
+
+
+def test_scaled_divides_cpu_costs():
+    base = TimingModel()
+    fast = base.scaled(4.0)
+    assert fast.trap_us == base.trap_us / 4
+    assert fast.protocol_send_us == base.protocol_send_us / 4
+    assert fast.copy_byte_us == base.copy_byte_us / 4
+    assert fast.context_switch_us == base.context_switch_us / 4
+
+
+def test_scaled_preserves_pacing_and_structure():
+    base = TimingModel()
+    fast = base.scaled(10.0)
+    # Protocol pacing windows are policy, not CPU speed.
+    assert fast.ack_defer_us == base.ack_defer_us
+    assert fast.input_buffer_hold_us == base.input_buffer_hold_us
+    assert fast.word_bytes == base.word_bytes
+
+
+def test_scaled_validates_factor():
+    with pytest.raises(ValueError):
+        TimingModel().scaled(0.0)
+    with pytest.raises(ValueError):
+        TimingModel().scaled(-2.0)
+
+
+def test_scaled_identity():
+    base = TimingModel()
+    assert base.scaled(1.0) == base
+
+
+def test_scaled_composes():
+    base = TimingModel()
+    twice = base.scaled(2.0).scaled(2.0)
+    four = base.scaled(4.0)
+    assert twice.trap_us == pytest.approx(four.trap_us)
+
+
+def test_faster_cpu_means_faster_signal():
+    from repro.bench.workloads import run_blocking_signals
+    from repro.bench import workloads
+    from repro.core.node import Network
+
+    def patched_build(config):
+        def build(pipelined, queued_accept, reply_bytes, seed):
+            net = Network(seed=seed, config=config, keep_trace=False)
+            net.add_node(program=workloads.AcceptingServer(reply_bytes=reply_bytes))
+            return net
+
+        return build
+
+    original = workloads._build
+    try:
+        workloads._build = patched_build(KernelConfig())
+        slow = run_blocking_signals(txns=4, warmup=1).per_txn_ms
+        workloads._build = patched_build(
+            KernelConfig(timing=TimingModel().scaled(8.0))
+        )
+        fast = run_blocking_signals(txns=4, warmup=1).per_txn_ms
+    finally:
+        workloads._build = original
+    assert fast < slow / 3

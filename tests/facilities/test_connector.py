@@ -1,0 +1,233 @@
+"""Tests for the connector and the switchboard (§4.3.1)."""
+
+from repro.core import Buffer, ClientProgram, Network, RequestStatus
+from repro.core.errors import SodaError
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.connector import (
+    ConnectedProgram,
+    ModuleSpec,
+    Switchboard,
+    Wiring,
+    lookup_service,
+    register_service,
+    run_connector,
+)
+
+RUN_US = 300_000_000.0
+SERVICE = make_well_known_pattern(0o472)
+
+
+# -- connector (load-time interconnection) ----------------------------------
+
+
+class PingModule(ConnectedProgram):
+    """Sends one PUT to its 'pong' peer once booted."""
+
+    sent = []
+
+    def task(self, api):
+        peer = self.wiring.peers["pong"]
+        completion = yield from api.b_put(peer, put=b"wired hello")
+        PingModule.sent.append(completion.status)
+        yield from api.serve_forever()
+
+
+class PongModule(ConnectedProgram):
+    received = []
+
+    def handler(self, api, event):
+        if event.is_arrival and event.pattern in self.wiring.exports:
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_put(get=buf)
+            PongModule.received.append(buf.data)
+
+
+def test_connector_boots_and_wires_two_modules():
+    PingModule.sent = []
+    PongModule.received = []
+    net = Network(seed=221)
+    net.add_node(machine_type="app")   # 0: bare
+    net.add_node(machine_type="app")   # 1: bare
+    outcome = {}
+
+    class ConnectorClient(ClientProgram):
+        def task(self, api):
+            mids = yield from run_connector(
+                api,
+                modules=[
+                    ModuleSpec("ping", PingModule, machine_type="app"),
+                    ModuleSpec("pong", PongModule, machine_type="app"),
+                ],
+                connections=[("ping", "pong")],
+            )
+            outcome["mids"] = mids
+            yield from api.serve_forever()
+
+    net.add_node(program=ConnectorClient(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert sorted(outcome["mids"]) == ["ping", "pong"]
+    assert set(outcome["mids"].values()) == {0, 1}
+    assert PingModule.sent == [RequestStatus.COMPLETED]
+    assert PongModule.received == [b"wired hello"]
+
+
+def test_connector_distinct_patterns_per_connection():
+    # Three modules in a triangle: each connection gets its own pattern.
+    received = {}
+
+    class Node(ConnectedProgram):
+        def handler(self, api, event):
+            if event.is_arrival and event.pattern in self.wiring.exports:
+                yield from api.accept_current_signal()
+                received.setdefault(api.my_mid, []).append(event.pattern)
+
+        def task(self, api):
+            for peer_name, sig in sorted(self.wiring.peers.items()):
+                # Cyclic topology: a peer may still be booting (the
+                # connector cannot topologically order a cycle); retry.
+                while True:
+                    completion = yield from api.b_signal(sig)
+                    if completion.status is RequestStatus.COMPLETED:
+                        break
+                    yield api.compute(10_000)
+            yield from api.serve_forever()
+
+    net = Network(seed=222)
+    for _ in range(3):
+        net.add_node(machine_type="tri")
+    patterns = {}
+
+    class ConnectorClient(ClientProgram):
+        def task(self, api):
+            specs = [ModuleSpec(n, Node, machine_type="tri") for n in "abc"]
+            yield from run_connector(
+                api, specs,
+                connections=[("a", "b"), ("b", "c"), ("c", "a")],
+            )
+            yield from api.serve_forever()
+
+    net.add_node(program=ConnectorClient(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    all_patterns = [p for plist in received.values() for p in plist]
+    assert len(all_patterns) == 3
+    assert len(set(all_patterns)) == 3  # one fresh pattern per connection
+
+
+def test_connector_fails_without_free_machine():
+    net = Network(seed=223)
+    outcome = {}
+
+    class ConnectorClient(ClientProgram):
+        def task(self, api):
+            try:
+                yield from run_connector(
+                    api,
+                    [ModuleSpec("lonely", PingModule, machine_type="absent")],
+                    [],
+                )
+            except SodaError as exc:
+                outcome["error"] = str(exc)
+            yield from api.serve_forever()
+
+    net.add_node(program=ConnectorClient())
+    net.run(until=RUN_US)
+    assert "no free" in outcome["error"]
+
+
+def test_connector_rejects_unknown_connection_names():
+    net = Network(seed=224)
+    outcome = {}
+
+    class ConnectorClient(ClientProgram):
+        def task(self, api):
+            try:
+                yield from run_connector(
+                    api,
+                    [ModuleSpec("a", PingModule)],
+                    [("a", "ghost")],
+                )
+            except SodaError as exc:
+                outcome["error"] = str(exc)
+            yield from api.serve_forever()
+
+    net.add_node(program=ConnectorClient())
+    net.run(until=RUN_US)
+    assert "unknown module" in outcome["error"]
+
+
+# -- switchboard (run-time interconnection) --------------------------------------
+
+
+def test_switchboard_register_then_lookup():
+    net = Network(seed=225)
+    net.add_node(program=Switchboard())
+
+    class Service(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(SERVICE)
+
+        def handler(self, api, event):
+            if event.is_arrival and event.pattern == SERVICE:
+                yield from api.accept_current_get(put=b"served")
+
+        def task(self, api):
+            yield from register_service(
+                api, 0, b"demo-service", api.server_sig(api.my_mid, SERVICE)
+            )
+            yield from api.serve_forever()
+
+    net.add_node(program=Service())
+    outcome = {}
+
+    class Consumer(ClientProgram):
+        def task(self, api):
+            sig = yield from lookup_service(api, 0, b"demo-service")
+            buf = Buffer(16)
+            completion = yield from api.b_get(sig, get=buf)
+            outcome["reply"] = (completion.status, buf.data)
+            yield from api.serve_forever()
+
+    net.add_node(program=Consumer(), boot_at_us=200.0)
+    net.run(until=RUN_US)
+    assert outcome["reply"] == (RequestStatus.COMPLETED, b"served")
+
+
+def test_switchboard_lookup_unknown_name_fails():
+    net = Network(seed=226)
+    net.add_node(program=Switchboard())
+    outcome = {}
+
+    class Consumer(ClientProgram):
+        def task(self, api):
+            try:
+                yield from lookup_service(api, 0, b"nobody", retries=3)
+            except SodaError as exc:
+                outcome["error"] = str(exc)
+            yield from api.serve_forever()
+
+    net.add_node(program=Consumer(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert "lookup" in outcome["error"]
+
+
+def test_switchboard_reregistration_updates_entry():
+    net = Network(seed=227)
+    switchboard = Switchboard()
+    net.add_node(program=switchboard)
+    outcome = {}
+
+    class Admin(ClientProgram):
+        def task(self, api):
+            yield from register_service(
+                api, 0, b"svc", api.server_sig(7, SERVICE)
+            )
+            yield from register_service(
+                api, 0, b"svc", api.server_sig(9, SERVICE)
+            )
+            sig = yield from lookup_service(api, 0, b"svc")
+            outcome["mid"] = sig.mid
+            yield from api.serve_forever()
+
+    net.add_node(program=Admin(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["mid"] == 9

@@ -1,0 +1,169 @@
+"""Tests for RPC (§4.2.2) and remote memory reference (§4.2.3)."""
+
+import struct
+
+from repro.core import ClientProgram, Network
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.rmr import RMR_PATTERN, MemoryServer, peek, poke
+from repro.facilities.rpc import RpcServer, rpc_call
+
+RUN_US = 60_000_000.0
+SQUARE = make_well_known_pattern(0o531)
+CONCAT = make_well_known_pattern(0o532)
+
+
+def square_proc(params: bytes) -> bytes:
+    (x,) = struct.unpack(">i", params)
+    return struct.pack(">i", x * x)
+
+
+def concat_proc(params: bytes) -> bytes:
+    return params + b"!"
+
+
+class Caller(ClientProgram):
+    def __init__(self, calls):
+        self.calls = calls  # list of (pattern, in_bytes, out_capacity)
+        self.results = []
+
+    def task(self, api):
+        for pattern, in_bytes, cap in self.calls:
+            result = yield from rpc_call(
+                api, api.server_sig(0, pattern), in_bytes, cap
+            )
+            self.results.append(result)
+        yield from api.serve_forever()
+
+
+def test_rpc_roundtrip():
+    net = Network(seed=51)
+    net.add_node(program=RpcServer({SQUARE: square_proc}))
+    caller = Caller([(SQUARE, struct.pack(">i", 12), 4)])
+    net.add_node(program=caller, boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert caller.results == [struct.pack(">i", 144)]
+
+
+def test_rpc_multiple_procedures():
+    net = Network(seed=52)
+    server = RpcServer({SQUARE: square_proc, CONCAT: concat_proc})
+    net.add_node(program=server)
+    caller = Caller(
+        [
+            (SQUARE, struct.pack(">i", 5), 4),
+            (CONCAT, b"hello", 16),
+            (SQUARE, struct.pack(">i", -3), 4),
+        ]
+    )
+    net.add_node(program=caller, boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert caller.results == [
+        struct.pack(">i", 25),
+        b"hello!",
+        struct.pack(">i", 9),
+    ]
+    assert server.calls_served == 3
+
+
+def test_rpc_concurrent_callers():
+    net = Network(seed=53)
+    server = RpcServer({SQUARE: square_proc})
+    net.add_node(program=server)
+    callers = []
+    for i in range(3):
+        caller = Caller([(SQUARE, struct.pack(">i", i + 2), 4)])
+        callers.append(caller)
+        net.add_node(program=caller, boot_at_us=100.0 + i * 37.0)
+    net.run(until=RUN_US)
+    for i, caller in enumerate(callers):
+        assert caller.results == [struct.pack(">i", (i + 2) ** 2)]
+
+
+def test_rpc_crashed_server_raises():
+    from repro.core import KernelConfig
+    from repro.core.errors import SodaError
+
+    net = Network(seed=54, config=KernelConfig(probe_interval_us=50_000.0))
+    server_node = net.add_node(program=RpcServer({SQUARE: square_proc}))
+    outcome = {}
+
+    class FragileCaller(ClientProgram):
+        def task(self, api):
+            yield api.compute(50_000)
+            try:
+                yield from rpc_call(
+                    api, api.server_sig(0, SQUARE), struct.pack(">i", 2), 4
+                )
+                outcome["error"] = None
+            except SodaError as exc:
+                outcome["error"] = str(exc)
+            yield from api.serve_forever()
+
+    net.add_node(program=FragileCaller(), boot_at_us=100.0)
+    net.sim.schedule(60_000.0, server_node.crash_client)
+    net.run(until=RUN_US)
+    assert outcome["error"] is not None
+
+
+# -- remote memory reference -------------------------------------------------
+
+
+def test_poke_then_peek():
+    net = Network(seed=55)
+    server = MemoryServer(size=256)
+    net.add_node(program=server)
+    outcome = {}
+
+    class MemClient(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(0, RMR_PATTERN)
+            yield from poke(api, sig, 10, b"\xde\xad\xbe\xef")
+            data = yield from peek(api, sig, 10, 4)
+            outcome["data"] = data
+            data = yield from peek(api, sig, 8, 8)
+            outcome["window"] = data
+            yield from api.serve_forever()
+
+    net.add_node(program=MemClient(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["data"] == b"\xde\xad\xbe\xef"
+    assert outcome["window"] == b"\x00\x00\xde\xad\xbe\xef\x00\x00"
+    assert server.peeks == 2 and server.pokes == 1
+
+
+def test_peek_truncates_at_memory_end():
+    net = Network(seed=56)
+    net.add_node(program=MemoryServer(size=16))
+    outcome = {}
+
+    class MemClient(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(0, RMR_PATTERN)
+            data = yield from peek(api, sig, 12, 8)
+            outcome["data"] = data
+            yield from api.serve_forever()
+
+    net.add_node(program=MemClient(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["data"] == b"\x00" * 4  # only 4 bytes exist past 12
+
+
+def test_out_of_range_address_rejected():
+    from repro.core.errors import SodaError
+
+    net = Network(seed=57)
+    net.add_node(program=MemoryServer(size=16))
+    outcome = {}
+
+    class MemClient(ClientProgram):
+        def task(self, api):
+            sig = api.server_sig(0, RMR_PATTERN)
+            try:
+                yield from peek(api, sig, 999, 4)
+            except SodaError as exc:
+                outcome["error"] = str(exc)
+            yield from api.serve_forever()
+
+    net.add_node(program=MemClient(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert "rejected" in outcome["error"]

@@ -1,0 +1,218 @@
+"""Integration tests: several subsystems composed in one network."""
+
+import struct
+
+from repro.apps.file_server import FILESERVER_PATTERN, FileServer, RemoteFile
+from repro.core import Buffer, ClientProgram, KernelConfig, Network, RequestStatus
+from repro.core.boot import ProgramImage, boot_pattern_for
+from repro.core.patterns import make_well_known_pattern
+from repro.facilities.rpc import RpcServer, rpc_call
+from repro.facilities.timeservice import ALARM_CLOCK, TimeServer, sleep_via
+from repro.net.errors import FaultPlan
+
+RUN_US = 600_000_000.0
+CRUNCH = make_well_known_pattern(0o260)
+ECHO = make_well_known_pattern(0o261)
+
+
+def test_file_service_under_packet_loss():
+    """10% loss; a client writes and reads back a file correctly."""
+    net = Network(seed=161, faults=FaultPlan(loss_probability=0.10))
+    server = FileServer()
+    net.add_node(program=server)
+    outcome = {}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            f = yield from RemoteFile.open(api, fs.mid, "lossy.dat")
+            payload = bytes(range(256)) * 4
+            for offset in range(0, len(payload), 256):
+                yield from f.write(payload[offset : offset + 256])
+            yield from f.seek(0)
+            chunks = []
+            while True:
+                chunk = yield from f.read(256)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            yield from f.close()
+            outcome["data"] = b"".join(chunks)
+            outcome["expected"] = payload
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["data"] == outcome["expected"]
+
+
+def test_three_services_one_client_session():
+    """File server + time server + RPC worker in one coherent session."""
+    net = Network(seed=162)
+    net.add_node(program=FileServer(files={"in.txt": b"5 12 30"}))
+    net.add_node(program=TimeServer())
+    net.add_node(
+        program=RpcServer(
+            {CRUNCH: lambda params: str(
+                sum(int(x) for x in params.split())
+            ).encode()}
+        )
+    )
+    outcome = {}
+
+    class Session(ClientProgram):
+        def task(self, api):
+            fs = yield from api.discover(FILESERVER_PATTERN)
+            ts = yield from api.discover(ALARM_CLOCK)
+            f = yield from RemoteFile.open(api, fs.mid, "in.txt")
+            numbers = yield from f.read(64)
+            yield from sleep_via(api, ts, delay_ms=10)
+            result = yield from rpc_call(
+                api, api.server_sig(2, CRUNCH), numbers, 32
+            )
+            out = yield from RemoteFile.open(api, fs.mid, "out.txt")
+            yield from out.write(result)
+            yield from out.close()
+            yield from f.close()
+            outcome["result"] = result
+            yield from api.serve_forever()
+
+    net.add_node(program=Session(), boot_at_us=200.0)
+    net.run(until=RUN_US)
+    assert outcome["result"] == b"47"
+
+
+def test_failover_between_replicated_servers():
+    """Two servers advertise the same pattern (legal, §3.4.2); when one
+    dies, re-DISCOVER finds the survivor and service continues."""
+    net = Network(seed=163, config=KernelConfig(probe_interval_us=50_000.0))
+
+    class Echo(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(ECHO)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                yield from api.accept_current_get(
+                    put=f"from {api.my_mid}".encode()
+                )
+
+    net.add_node(program=Echo())
+    net.add_node(program=Echo())
+    outcome = {"replies": []}
+
+    class Client(ClientProgram):
+        def task(self, api):
+            while len(outcome["replies"]) < 6:
+                mids = yield from api.discover_all(ECHO, max_replies=4)
+                if not mids:
+                    yield api.compute(50_000)
+                    continue
+                buf = Buffer(16)
+                completion = yield from api.b_get(
+                    api.server_sig(mids[0], ECHO), get=buf
+                )
+                if completion.status is RequestStatus.COMPLETED:
+                    outcome["replies"].append(buf.data)
+                yield api.compute(30_000)
+            yield from api.serve_forever()
+
+    net.add_node(program=Client(), boot_at_us=200.0)
+    net.sim.schedule(130_000.0, net.nodes[0].crash_client)
+    net.run(until=RUN_US)
+    replies = outcome["replies"]
+    assert len(replies) == 6
+    assert b"from 0" in replies  # served by 0 before the crash
+    assert replies[-1] == b"from 1"  # survivor carries on
+
+
+def test_boot_three_workers_and_farm_work():
+    """A coordinator boots three workers onto bare nodes and farms RPC
+    calls across them."""
+    net = Network(seed=164)
+    for _ in range(3):
+        net.add_node(machine_type="worker")
+    outcome = {"answers": []}
+
+    class Worker(RpcServer):
+        def __init__(self):
+            super().__init__({CRUNCH: self._square})
+
+        @staticmethod
+        def _square(params):
+            (x,) = struct.unpack(">i", params)
+            return struct.pack(">i", x * x)
+
+    class Coordinator(ClientProgram):
+        def task(self, api):
+            mids = []
+            for _ in range(3):
+                target = yield from api.discover(boot_pattern_for("worker"))
+                yield from api.boot_node(
+                    target, ProgramImage("worker", Worker, size_bytes=2048)
+                )
+                mids.append(target.mid)
+            assert len(set(mids)) == 3
+            for i, mid in enumerate(mids):
+                result = yield from rpc_call(
+                    api, api.server_sig(mid, CRUNCH),
+                    struct.pack(">i", i + 2), 4,
+                )
+                outcome["answers"].append(struct.unpack(">i", result)[0])
+            yield from api.serve_forever()
+
+    net.add_node(program=Coordinator(), boot_at_us=100.0)
+    net.run(until=RUN_US)
+    assert outcome["answers"] == [4, 9, 16]
+
+
+def test_heavily_loaded_shared_bus():
+    """Six nodes talking across each other; nothing lost or corrupted."""
+    net = Network(seed=165)
+    PATTERNS = [make_well_known_pattern(0o270 + i) for i in range(3)]
+    sinks = []
+
+    class Sink(ClientProgram):
+        def __init__(self, pattern):
+            self.pattern = pattern
+            self.got = []
+
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(self.pattern)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                buf = Buffer(event.put_size)
+                yield from api.accept_current_put(get=buf)
+                self.got.append(buf.data)
+
+    for pattern in PATTERNS:
+        sink = Sink(pattern)
+        sinks.append(sink)
+        net.add_node(program=sink)
+
+    class Blaster(ClientProgram):
+        def __init__(self, target_mid, pattern, n):
+            self.target = target_mid
+            self.pattern = pattern
+            self.n = n
+            self.ok = 0
+
+        def task(self, api):
+            sig = api.server_sig(self.target, self.pattern)
+            for i in range(self.n):
+                payload = f"{api.my_mid}:{i}".encode()
+                completion = yield from api.b_put(sig, put=payload)
+                if completion.status is RequestStatus.COMPLETED:
+                    self.ok += 1
+            yield from api.serve_forever()
+
+    blasters = []
+    for i in range(3):
+        blaster = Blaster(i, PATTERNS[i], 10)
+        blasters.append(blaster)
+        net.add_node(program=blaster, boot_at_us=100.0 + 31.0 * i)
+    net.run(until=RUN_US)
+    for i, (sink, blaster) in enumerate(zip(sinks, blasters)):
+        assert blaster.ok == 10
+        assert sink.got == [f"{3 + i}:{j}".encode() for j in range(10)]

@@ -1,0 +1,84 @@
+"""Property-based tests for extension encodings and transfers."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.multipacket import _decode_arg, _encode_arg
+from repro.facilities.links import LinkRole, _decode_end, _encode_end
+from repro.facilities.connector import _decode_entry, _encode_entry
+from repro.core.signatures import ServerSignature
+
+
+@given(
+    block_id=st.integers(min_value=0, max_value=2**16 - 1),
+    index=st.integers(min_value=0, max_value=2**12 - 1),
+    final=st.booleans(),
+)
+def test_multipacket_arg_round_trip(block_id, index, final):
+    assert _decode_arg(_encode_arg(block_id, index, final)) == (
+        block_id,
+        index,
+        final,
+    )
+
+
+@given(
+    role=st.sampled_from(list(LinkRole)),
+    mid=st.integers(min_value=0, max_value=2**16 - 1),
+    pattern=st.integers(min_value=0, max_value=2**48 - 1),
+)
+def test_link_end_encoding_round_trip(role, mid, pattern):
+    encoded = _encode_end(role, mid, pattern)
+    assert len(encoded) == 9
+    assert _decode_end(encoded) == (role, mid, pattern)
+
+
+@given(
+    mid=st.integers(min_value=0, max_value=2**16 - 1),
+    pattern=st.integers(min_value=0, max_value=2**48 - 1),
+)
+def test_switchboard_entry_round_trip(mid, pattern):
+    sig = ServerSignature(mid, pattern)
+    assert _decode_entry(_encode_entry(sig)) == sig
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    payload=st.binary(min_size=0, max_size=9000),
+    chunk=st.integers(min_value=200, max_value=4096),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_multipacket_block_round_trip(payload, chunk, seed):
+    from repro.core import ClientProgram, Network
+    from repro.core.patterns import make_well_known_pattern
+    from repro.extensions.multipacket import BlockReceiverMixin, put_block
+
+    PATTERN = make_well_known_pattern(0o223)
+
+    class Sink(BlockReceiverMixin, ClientProgram):
+        block_pattern = PATTERN
+
+        def __init__(self):
+            self.blocks = []
+
+        def on_block(self, sender_mid, block_id, data):
+            self.blocks.append((sender_mid, block_id, data))
+
+    class Sender(ClientProgram):
+        def task(self, api):
+            yield from put_block(
+                api, api.server_sig(0, PATTERN), payload,
+                block_id=5, chunk_bytes=chunk,
+            )
+            yield from api.serve_forever()
+
+    net = Network(seed=seed, keep_trace=False)
+    sink = Sink()
+    net.add_node(program=sink)
+    net.add_node(program=Sender(), boot_at_us=100.0)
+    net.run(until=300_000_000.0)
+    assert sink.blocks == [(1, 5, payload)]

@@ -1,0 +1,100 @@
+"""Property-based tests for the SODAL queue and the event queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sodal.queueing import Queue, QueueEmptyError, QueueFullError
+
+
+@st.composite
+def queue_ops(draw):
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("enq"), st.integers()),
+                st.tuples(st.just("deq"), st.none()),
+            ),
+            max_size=50,
+        )
+    )
+    return capacity, ops
+
+
+@given(queue_ops())
+def test_queue_behaves_like_bounded_fifo(case):
+    capacity, ops = case
+    queue = Queue(capacity)
+    model = []
+    for op, value in ops:
+        if op == "enq":
+            if len(model) >= capacity:
+                try:
+                    queue.enqueue(value)
+                    assert False, "expected QueueFullError"
+                except QueueFullError:
+                    pass
+            else:
+                queue.enqueue(value)
+                model.append(value)
+        else:
+            if not model:
+                try:
+                    queue.dequeue()
+                    assert False, "expected QueueEmptyError"
+                except QueueEmptyError:
+                    pass
+            else:
+                assert queue.dequeue() == model.pop(0)
+        assert len(queue) == len(model)
+        assert queue.is_empty() == (not model)
+        assert queue.is_full() == (len(model) == capacity)
+        assert queue.almost_empty() == (len(model) == 1)
+        assert queue.almost_full() == (len(model) == capacity - 1)
+        assert queue.items() == model
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        max_size=60,
+    )
+)
+def test_event_queue_pops_in_total_order(entries):
+    queue = EventQueue()
+    for time, priority in entries:
+        queue.push(time, lambda: None, (), priority=priority)
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append((event.time, event.priority, event.seq))
+    assert popped == sorted(popped)
+    assert len(popped) == len(entries)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=40),
+    st.sets(st.integers(min_value=0, max_value=39)),
+)
+def test_event_queue_cancellation_drops_exactly_those(times, cancel_idx):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None, ()) for t in times]
+    for i in cancel_idx:
+        if i < len(events):
+            events[i].cancel()
+    expected = sorted(
+        event.seq for i, event in enumerate(events) if not event.cancelled
+    )
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.seq)
+    assert sorted(popped) == expected

@@ -1,0 +1,106 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_run_advances_clock_in_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, lambda: seen.append(sim.now))
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0, 10.0]
+
+
+def test_run_until_time_stops_clock_at_until():
+    sim = Simulator()
+    sim.schedule(100.0, lambda: None)
+    sim.schedule(900.0, lambda: None)
+    processed = sim.run(until=500.0)
+    assert processed == 1
+    assert sim.now == 500.0
+    # The remaining event still fires on the next run.
+    assert sim.run() == 1
+    assert sim.now == 900.0
+
+
+def test_run_with_empty_queue_sets_now_to_until():
+    sim = Simulator()
+    sim.run(until=250.0)
+    assert sim.now == 250.0
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_at_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(5.0, lambda: seen.append("second"))
+        seen.append("first")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"done": False}
+    sim.schedule(50.0, lambda: state.update(done=True))
+    sim.schedule(500.0, lambda: None)
+    assert sim.run_until(lambda: state["done"], timeout=1_000.0)
+    assert sim.now == 50.0
+
+
+def test_run_until_predicate_timeout():
+    sim = Simulator()
+    assert not sim.run_until(lambda: False, timeout=100.0)
+
+
+def test_determinism_same_seed_same_trace():
+    def build(seed: int):
+        sim = Simulator(seed=seed)
+        values = []
+        for i in range(20):
+            delay = sim.rng.uniform("jitter", 0.0, 100.0)
+            sim.schedule(delay, values.append, i)
+        sim.run()
+        return values
+
+    assert build(7) == build(7)
+    assert build(7) != build(8)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,85 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(5.0, fired.append, ("b",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(9.0, fired.append, ("c",))
+    order = []
+    while True:
+        event = q.pop()
+        if event is None:
+            break
+        order.append(event.time)
+    assert order == [1.0, 5.0, 9.0]
+
+
+def test_same_time_fifo_order():
+    q = EventQueue()
+    events = [q.push(3.0, lambda: None, ()) for _ in range(5)]
+    popped = [q.pop() for _ in range(5)]
+    assert [e.seq for e in popped] == [e.seq for e in events]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    low = q.push(3.0, lambda: None, (), priority=5)
+    high = q.push(3.0, lambda: None, (), priority=-5)
+    assert q.pop() is high
+    assert q.pop() is low
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: None, ())
+    drop = q.push(0.5, lambda: None, ())
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None, ())
+    event.cancel()
+    event.cancel()
+    assert q.pop() is None
+
+
+def test_len_ignores_cancelled():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    first.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None, ())
+    q.clear()
+    assert q.pop() is None
+
+
+def test_event_repr_mentions_state():
+    event = Event(1.0, 0, 0, lambda: None, ())
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

@@ -1,0 +1,136 @@
+"""Unit tests for RNG streams, tracing, the cost ledger, and clock utils."""
+
+import pytest
+
+from repro.sim.clock import format_us, ms_to_us, us_to_ms
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import CostLedger, Tracer
+
+
+# -- RNG ------------------------------------------------------------------
+
+
+def test_streams_are_reproducible():
+    a = RngStreams(5).stream("x")
+    b = RngStreams(5).stream("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_streams_are_independent_by_name():
+    streams = RngStreams(5)
+    seq_x = [streams.stream("x").random() for _ in range(5)]
+    streams2 = RngStreams(5)
+    # Interleave draws from another stream; "x" must be unaffected.
+    for _ in range(3):
+        streams2.stream("y").random()
+    seq_x2 = [streams2.stream("x").random() for _ in range(5)]
+    assert seq_x == seq_x2
+
+
+def test_different_seeds_differ():
+    assert RngStreams(1).stream("x").random() != RngStreams(2).stream("x").random()
+
+
+def test_chance_extremes():
+    streams = RngStreams(0)
+    assert not streams.chance("c", 0.0)
+    assert streams.chance("c", 1.0)
+
+
+def test_uniform_within_bounds():
+    streams = RngStreams(0)
+    for _ in range(100):
+        value = streams.uniform("u", 3.0, 7.0)
+        assert 3.0 <= value <= 7.0
+
+
+# -- Tracer -----------------------------------------------------------------
+
+
+def test_tracer_counts_and_records():
+    tracer = Tracer()
+    tracer.record(1.0, "pkt", kind="a")
+    tracer.record(2.0, "pkt", kind="b")
+    tracer.record(3.0, "other")
+    assert tracer.count("pkt") == 2
+    assert len(tracer.select("pkt")) == 2
+    assert tracer.select("pkt", kind="b")[0].time == 2.0
+
+
+def test_tracer_last():
+    tracer = Tracer()
+    tracer.record(1.0, "x", n=1)
+    tracer.record(2.0, "x", n=2)
+    assert tracer.last("x")["n"] == 2
+    assert tracer.last("missing") is None
+
+
+def test_tracer_without_records_still_counts():
+    tracer = Tracer(keep_records=False)
+    tracer.record(1.0, "x")
+    assert tracer.count("x") == 1
+    assert tracer.records == []
+
+
+def test_tracer_reset():
+    tracer = Tracer()
+    tracer.record(1.0, "x")
+    tracer.reset()
+    assert tracer.count("x") == 0
+    assert tracer.records == []
+
+
+def test_record_get_default():
+    tracer = Tracer()
+    tracer.record(1.0, "x", a=1)
+    rec = tracer.records[0]
+    assert rec["a"] == 1
+    assert rec.get("b", "dflt") == "dflt"
+
+
+# -- CostLedger ---------------------------------------------------------------
+
+
+def test_ledger_accumulates_and_totals():
+    ledger = CostLedger()
+    ledger.charge("protocol", 500.0)
+    ledger.charge("protocol", 250.0)
+    ledger.charge("transmission", 100.0)
+    assert ledger.get("protocol") == 750.0
+    assert ledger.total() == 850.0
+
+
+def test_ledger_rejects_negative():
+    with pytest.raises(ValueError):
+        CostLedger().charge("protocol", -1.0)
+
+
+def test_ledger_snapshot_diff():
+    ledger = CostLedger()
+    ledger.charge("protocol", 100.0)
+    snap = ledger.snapshot()
+    ledger.charge("protocol", 50.0)
+    ledger.charge("context_switch", 25.0)
+    diff = ledger.diff(snap)
+    assert diff == {"protocol": 50.0, "context_switch": 25.0}
+
+
+def test_ledger_reset():
+    ledger = CostLedger()
+    ledger.charge("protocol", 1.0)
+    ledger.reset()
+    assert ledger.total() == 0.0
+
+
+# -- clock --------------------------------------------------------------------
+
+
+def test_unit_conversions():
+    assert us_to_ms(7100.0) == 7.1
+    assert ms_to_us(7.1) == 7100.0
+
+
+def test_format_us_scales():
+    assert format_us(16.0).endswith("us")
+    assert format_us(7100.0) == "7.100ms"
+    assert format_us(2_500_000.0) == "2.500s"

@@ -1,0 +1,157 @@
+"""SODAL API behaviour tests (§4.1)."""
+
+import pytest
+
+from repro.core import Buffer, ClientProgram, Network, RequestStatus
+from repro.core.errors import NotInHandlerError
+from repro.core.patterns import is_unique_id, make_well_known_pattern
+from repro.sodal.api import _coerce_get, _coerce_put
+
+from tests.conftest import ECHO_PATTERN, EchoServer, make_pair
+
+RUN_US = 30_000_000.0
+PATTERN = make_well_known_pattern(0o610)
+
+
+def test_coerce_put_accepts_many_types():
+    assert _coerce_put(None) == b""
+    assert _coerce_put(b"abc") == b"abc"
+    assert _coerce_put("héllo") == "héllo".encode("utf-8")
+    assert _coerce_put(bytearray(b"xy")) == b"xy"
+    assert _coerce_put(Buffer.from_bytes(b"zz")) == b"zz"
+
+
+def test_coerce_get_accepts_int_and_buffer():
+    assert _coerce_get(None).capacity == 0
+    assert _coerce_get(16).capacity == 16
+    buf = Buffer(4)
+    assert _coerce_get(buf) is buf
+
+
+def test_getuniqueid_returns_unique_patterns(network):
+    ids = []
+
+    def body(api, self):
+        for _ in range(5):
+            pattern = yield from api.getuniqueid()
+            ids.append(pattern)
+        return ids
+
+    _, client = make_pair(network, EchoServer(), body)
+    network.run(until=RUN_US)
+    assert len(set(client.result)) == 5
+    assert all(is_unique_id(p) for p in client.result)
+
+
+def test_accept_current_outside_handler_raises(network):
+    def body(api, self):
+        try:
+            yield from api.accept_current_signal()
+        except NotInHandlerError:
+            return "raised"
+        return "no-error"
+
+    _, client = make_pair(network, EchoServer(), body)
+    network.run(until=RUN_US)
+    assert client.result == "raised"
+
+
+def test_accept_current_on_completion_event_raises(network):
+    outcome = {}
+
+    class BadServer(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                yield from api.accept_current_signal()
+
+    class Confused(ClientProgram):
+        def handler(self, api, event):
+            if event.is_completion:
+                try:
+                    # ACCEPT_CURRENT on a completion is illegal.
+                    yield from api.accept_current_signal()
+                except NotInHandlerError:
+                    outcome["raised"] = True
+
+        def task(self, api):
+            yield from api.signal(api.server_sig(0, PATTERN))
+            yield from api.serve_forever()
+
+    network.add_node(program=BadServer())
+    network.add_node(program=Confused(), boot_at_us=50.0)
+    network.run(until=RUN_US)
+    assert outcome.get("raised")
+
+
+def test_my_mid_matches_node(network):
+    def body(api, self):
+        return api.my_mid
+        yield  # pragma: no cover
+
+    _, client = make_pair(network, EchoServer(), body)
+    network.run(until=RUN_US)
+    assert client.result == 1
+
+
+def test_queue_helpers_charge_time(network):
+    from repro.sodal import Queue
+
+    def body(api, self):
+        q = Queue(4)
+        t0 = api.now
+        yield from api.enqueue(q, "x")
+        item = yield from api.dequeue(q)
+        return item, api.now - t0
+
+    _, client = make_pair(network, EchoServer(), body)
+    network.run(until=RUN_US)
+    item, elapsed = client.result
+    assert item == "x"
+    assert elapsed == pytest.approx(2 * network.config.timing.queue_op_us)
+
+
+def test_task_return_implies_die(network):
+    class ShortLived(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def task(self, api):
+            yield api.compute(1_000)
+            # returning here must trigger the implicit Die
+
+    node = network.add_node(program=ShortLived())
+    network.run(until=RUN_US)
+    assert node.kernel.client is None
+    assert node.kernel.patterns.advertised() == []
+
+
+def test_completion_object_fields(network):
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        buf = Buffer(10)
+        completion = yield from api.b_exchange(server, put=b"12345", get=buf)
+        return completion
+
+    _, client = make_pair(network, EchoServer(greeting=b"abcdefgh"), body)
+    network.run(until=RUN_US)
+    completion = client.result
+    assert completion.completed and not completion.rejected
+    assert completion.taken_put == 5
+    assert completion.taken_get == 8
+    assert completion.tid >= 0
+    assert completion.status is RequestStatus.COMPLETED
+
+
+def test_poll_helper_waits_for_predicate(network):
+    def body(api, self):
+        flag = {"set": False}
+        api.sim.schedule(5_000.0, lambda: flag.update(set=True))
+        yield from api.poll(lambda: flag["set"])
+        return api.now
+
+    _, client = make_pair(network, EchoServer(), body)
+    network.run(until=RUN_US)
+    assert client.result >= 5_000.0

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_quickstart_runs(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "exchange: completed" in out
+    assert "frames on the bus" in out
+
+
+def test_breakdown_prints_table(capsys):
+    assert main(["breakdown"]) == 0
+    out = capsys.readouterr().out
+    assert "client_overhead" in out
+    assert "TOTAL" in out
+
+
+def test_deltat_prints_scenarios(capsys):
+    assert main(["deltat"]) == 0
+    out = capsys.readouterr().out
+    assert "take-any" in out
+    assert "FAILED" not in out
+
+
+def test_help_exits_zero(capsys):
+    assert main(["--help"]) == 0
+    assert "python -m repro" in capsys.readouterr().out
+
+
+def test_unknown_command_fails(capsys):
+    assert main(["bogus"]) == 1
+
+
+def test_default_is_quickstart(capsys):
+    assert main([]) == 0
+    assert "exchange" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Unit tests for Delta-t connection records (§5.2.2)."""
+
+from repro.transport.deltat import DeltaTConfig, DeltaTRecord, DeltaTState
+
+
+CFG = DeltaTConfig(mpl_us=100.0, r_us=400.0, a_us=50.0)
+
+
+def test_derived_intervals():
+    assert CFG.delta_t_us == 550.0
+    assert CFG.take_any_after_us == 650.0          # MPL + delta-t
+    assert CFG.crash_quiet_us == 750.0             # 2*MPL + delta-t
+
+
+def test_take_any_accepts_any_first_seq():
+    record = DeltaTRecord(CFG)
+    assert record.current_state(0.0) is DeltaTState.TAKE_ANY
+    assert record.classify(1, now_us=10.0) == "new"
+    assert record.state is DeltaTState.SYNCHRONIZED
+
+
+def test_alternation_enforced_once_synchronized():
+    record = DeltaTRecord(CFG)
+    assert record.classify(0, 1.0) == "new"
+    assert record.classify(0, 2.0) == "duplicate"
+    assert record.classify(1, 3.0) == "new"
+    assert record.classify(1, 4.0) == "duplicate"
+    assert record.classify(0, 5.0) == "new"
+
+
+def test_silence_expires_record_to_take_any():
+    record = DeltaTRecord(CFG)
+    record.classify(0, 0.0)
+    # Just under the bound: still synchronized, duplicate rejected.
+    assert record.classify(0, CFG.take_any_after_us - 1.0) == "duplicate"
+    # Quiet past the bound from that refresh: record destroyed.
+    later = CFG.take_any_after_us - 1.0 + CFG.take_any_after_us + 1.0
+    assert record.current_state(later) is DeltaTState.TAKE_ANY
+    # Any sequence number (even the "duplicate" one) is now new.
+    assert record.classify(0, later + 1.0) == "new"
+
+
+def test_any_traffic_refreshes_timer():
+    record = DeltaTRecord(CFG)
+    record.classify(0, 0.0)
+    record.heard(600.0)  # unsequenced traffic counts
+    assert record.current_state(1_200.0) is DeltaTState.SYNCHRONIZED
+    assert record.current_state(600.0 + CFG.take_any_after_us) is DeltaTState.TAKE_ANY
+
+
+def test_destroy_resets_everything():
+    record = DeltaTRecord(CFG)
+    record.classify(1, 0.0)
+    record.destroy()
+    assert record.state is DeltaTState.TAKE_ANY
+    assert record.expected_seq is None
+    assert record.last_heard_us is None
+
+
+def test_rollback_semantics_via_expected_seq():
+    # The kernel rolls back a held sequence number by restoring
+    # expected_seq; verify the classify contract supports that.
+    record = DeltaTRecord(CFG)
+    assert record.classify(1, 0.0) == "new"
+    record.expected_seq = 1  # rollback: 1 becomes acceptable again
+    assert record.classify(1, 1.0) == "new"
+
+
+def test_default_config_matches_paper_structure():
+    cfg = DeltaTConfig()
+    assert cfg.delta_t_us == cfg.mpl_us + cfg.r_us + cfg.a_us
+    assert cfg.crash_quiet_us > cfg.take_any_after_us
