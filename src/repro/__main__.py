@@ -1,10 +1,12 @@
-"""Command-line entry point: quick demos and table regeneration.
+"""Command-line entry point: quick demos, tables, and analysis tools.
 
     python -m repro quickstart        # two-node echo session
     python -m repro tables [--quick]  # the paper's performance tables
     python -m repro breakdown         # overhead-breakdown table
     python -m repro comparison        # SODA vs *MOD
     python -m repro deltat            # Delta-t figure scenarios
+    python -m repro lint [paths...]   # sodalint protocol linter
+    python -m repro check-trace [workload...]  # trace invariant checker
 """
 
 from __future__ import annotations
@@ -119,6 +121,14 @@ def main(argv=None) -> int:
         _comparison()
     elif command == "deltat":
         _deltat()
+    elif command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
+    elif command == "check-trace":
+        from repro.analysis.cli import run_check_trace
+
+        return run_check_trace(argv[1:])
     else:
         print(__doc__)
         return 1 if command not in ("-h", "--help", "help") else 0

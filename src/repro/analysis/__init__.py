@@ -1,0 +1,45 @@
+"""Static and dynamic correctness tooling for SODA programs.
+
+Two halves:
+
+* **sodalint** — an AST-based linter (:mod:`repro.analysis.linter`,
+  :mod:`repro.analysis.rules`) that walks SODA client programs and
+  reports protocol misuse the kernel cannot catch at runtime: blocking
+  task-level primitives in handler context, ADVERTISE of reserved
+  patterns, fire-and-forget REQUESTs, handler re-entry, discarded
+  generator/future results, and direct mutation of kernel-owned state.
+* **trace invariant checker** — :mod:`repro.analysis.invariants` replays
+  :class:`~repro.sim.tracing.Tracer` records after a run and asserts
+  machine-checkable transport invariants: alternating-bit sequence
+  alternation, retransmission bounds, handler non-nesting,
+  delivered-request completion, and cost-ledger consistency.
+
+See ``docs/ANALYSIS.md`` for the rule table and extension guide.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_network,
+)
+from repro.analysis.linter import LintConfig, Linter, lint_paths
+from repro.analysis.rules import LintRule, all_rules, get_rule, register_rule
+from repro.analysis.workloads import WORKLOADS, run_workload
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintRule",
+    "register_rule",
+    "get_rule",
+    "all_rules",
+    "LintConfig",
+    "Linter",
+    "lint_paths",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_network",
+    "WORKLOADS",
+    "run_workload",
+]

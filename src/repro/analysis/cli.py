@@ -1,0 +1,72 @@
+"""CLI entry points for ``python -m repro lint`` / ``check-trace``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.analysis.invariants import check_network
+from repro.analysis.linter import LintConfig, has_errors, lint_paths
+from repro.analysis.workloads import WORKLOADS, run_workload
+
+#: Linted by default: the repo's own client programs.
+DEFAULT_LINT_PATHS = ("src/repro/apps", "examples")
+
+
+def run_lint(argv: Sequence[str], out=print) -> int:
+    """``python -m repro lint [--disable=IDS] [paths...]``; 0 = clean."""
+    paths: List[str] = []
+    disabled: List[str] = []
+    for arg in argv:
+        if arg.startswith("--disable="):
+            disabled.extend(
+                part.strip()
+                for part in arg.split("=", 1)[1].split(",")
+                if part.strip()
+            )
+        else:
+            paths.append(arg)
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        out(f"sodalint: no such file or directory: {', '.join(missing)}")
+        return 2
+    config = LintConfig(disabled=frozenset(disabled))
+    diagnostics = lint_paths(paths or list(DEFAULT_LINT_PATHS), config)
+    for diag in diagnostics:
+        out(diag.format())
+    errors = sum(1 for d in diagnostics if d.severity.value == "error")
+    out(
+        f"sodalint: {len(diagnostics)} finding(s), {errors} error(s) "
+        f"in {', '.join(paths or DEFAULT_LINT_PATHS)}"
+    )
+    return 1 if has_errors(diagnostics) else 0
+
+
+def run_check_trace(argv: Sequence[str], out=print) -> int:
+    """``python -m repro check-trace [workload...]``; 0 = all hold."""
+    names = [arg for arg in argv if not arg.startswith("-")]
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        out(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(WORKLOADS))}"
+        )
+        return 1
+    if not names:
+        names = sorted(WORKLOADS)
+    failures = 0
+    for name in names:
+        net = run_workload(name)
+        violations = check_network(net, strict_completion=True)
+        records = len(net.sim.trace.records)
+        if violations:
+            failures += 1
+            out(f"{name}: FAILED ({records} trace records)")
+            for violation in violations:
+                out(f"    {violation.format()}")
+        else:
+            out(f"{name}: ok ({records} trace records, all invariants hold)")
+    out(
+        f"check-trace: {len(names) - failures}/{len(names)} workload(s) clean"
+    )
+    return 1 if failures else 0

@@ -1,0 +1,38 @@
+"""Typed lint diagnostics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` diagnostics make ``python -m repro lint`` exit non-zero;
+    ``WARNING`` diagnostics are reported but do not fail the run.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location."""
+
+    rule_id: str
+    message: str
+    file: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def __str__(self) -> str:
+        return self.format()

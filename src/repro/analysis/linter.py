@@ -1,0 +1,154 @@
+"""The sodalint driver: file discovery, pragmas, config, reporting.
+
+Pragmas
+-------
+
+``# sodalint: disable=SODA003`` at the end of a code line suppresses the
+named rule(s) on that line only; on a line of its own it suppresses them
+for the whole file.  ``disable=all`` (or a bare ``disable``) suppresses
+everything.  Rule lists are comma-separated.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.model import build_model
+from repro.analysis.rules import LintRule, all_rules
+
+#: Rule id of the parse-failure pseudo-diagnostic.
+PARSE_ERROR_RULE = "SODA000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*sodalint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection.
+
+    ``disabled`` rules never fire; if ``enabled_only`` is non-empty, only
+    those rules fire.  Pragmas in the source are applied on top.
+    """
+
+    disabled: frozenset = frozenset()
+    enabled_only: frozenset = frozenset()
+
+    def rule_active(self, rule_id: str) -> bool:
+        if rule_id in self.disabled:
+            return False
+        if self.enabled_only and rule_id not in self.enabled_only:
+            return False
+        return True
+
+
+@dataclass
+class _Pragmas:
+    """Suppressions harvested from one file's comments."""
+
+    file_wide: Set[str] = field(default_factory=set)   # rule ids or "all"
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, diag: Diagnostic) -> bool:
+        if "all" in self.file_wide or diag.rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(diag.line, ())
+        return "all" in rules or diag.rule_id in rules
+
+
+def _harvest_pragmas(lines: Sequence[str]) -> _Pragmas:
+    pragmas = _Pragmas()
+    for lineno, line in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        rules = (
+            {part.strip() for part in spec.split(",") if part.strip()}
+            if spec
+            else {"all"}
+        )
+        before = line[: match.start()].strip()
+        if before:
+            pragmas.by_line.setdefault(lineno, set()).update(rules)
+        else:
+            pragmas.file_wide.update(rules)
+    return pragmas
+
+
+class Linter:
+    """Run a rule set over source files."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        rules: Optional[Sequence[LintRule]] = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        self._rules = list(rules) if rules is not None else None
+
+    @property
+    def rules(self) -> List[LintRule]:
+        # Resolved lazily so rules registered after construction (e.g.
+        # by an extension module imported later) still participate.
+        return self._rules if self._rules is not None else all_rules()
+
+    def lint_source(self, source: str, path: str) -> List[Diagnostic]:
+        try:
+            model = build_model(source, path)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                    file=path,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 1) - 1,
+                    severity=Severity.ERROR,
+                )
+            ]
+        pragmas = _harvest_pragmas(model.lines)
+        out: List[Diagnostic] = []
+        for rule in self.rules:
+            if not self.config.rule_active(rule.rule_id):
+                continue
+            for diag in rule.check(model):
+                if not pragmas.suppressed(diag):
+                    out.append(diag)
+        out.sort(key=lambda d: (d.file, d.line, d.col, d.rule_id))
+        return out
+
+    def lint_file(self, path) -> List[Diagnostic]:
+        path = Path(path)
+        return self.lint_source(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable, config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Lint files and directories; returns all diagnostics found."""
+    linter = Linter(config)
+    out: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        out.extend(linter.lint_file(path))
+    return out
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)

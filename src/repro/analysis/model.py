@@ -1,0 +1,185 @@
+"""The per-module AST model shared by lint rules.
+
+A :class:`ModuleModel` is built once per source file and handed to every
+rule.  It indexes the things SODA rules care about: which classes are
+client programs, which methods run in handler context, what the SODAL
+api parameter is called, and how reserved-pattern names were imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Names exported by :mod:`repro.core.boot` that denote reserved
+#: patterns a client must never ADVERTISE.
+RESERVED_PATTERN_NAMES = frozenset(
+    {"DEFAULT_KILL_PATTERN", "SYSTEM_PATTERN", "KERNEL_RMR_PATTERN"}
+)
+
+#: Calls that mint reserved patterns.
+RESERVED_PATTERN_FACTORIES = frozenset(
+    {"make_reserved_pattern", "boot_pattern_for"}
+)
+
+#: Program-section method names; ``handler`` and ``initialization`` run
+#: as kernel handler invocations (the BOOTING handler included, §3.7.6).
+HANDLER_SECTIONS = frozenset({"handler", "initialization"})
+PROGRAM_SECTIONS = frozenset({"handler", "initialization", "task"})
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``api.kernel.patterns`` -> ``['api', 'kernel', 'patterns']``.
+
+    Returns None for anything that is not a pure Name/Attribute chain
+    (calls or subscripts in the middle break the chain).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def normalized_chain(node: ast.AST) -> Optional[List[str]]:
+    """Attribute chain with a leading ``self`` stripped."""
+    chain = attribute_chain(node)
+    if chain and chain[0] == "self" and len(chain) > 1:
+        return chain[1:]
+    return chain
+
+
+@dataclass
+class ProgramClass:
+    """One class recognized as a SODA client program."""
+
+    node: ast.ClassDef
+    #: Program-section methods present on the class (name -> FunctionDef).
+    sections: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: All methods (name -> FunctionDef), sections included.
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def handler_sections(self) -> Iterator[ast.FunctionDef]:
+        for name in HANDLER_SECTIONS:
+            if name in self.sections:
+                yield self.sections[name]
+
+
+@dataclass
+class ModuleModel:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    program_classes: List[ProgramClass]
+    #: Local aliases of reserved-pattern *names* (import indirection):
+    #: ``from repro.core.boot import SYSTEM_PATTERN as SYS`` -> {"SYS"}.
+    reserved_aliases: Set[str]
+    #: Local aliases of reserved-pattern *factory functions*.
+    reserved_factories: Set[str]
+    #: Module-level names assigned from a reserved factory call:
+    #: ``BOOT = boot_pattern_for("vax")`` -> {"BOOT"}.
+    reserved_locals: Set[str]
+
+    def walk_program_code(self) -> Iterator[Tuple[ProgramClass, ast.AST]]:
+        """Every AST node inside a program class body."""
+        for cls in self.program_classes:
+            for node in ast.walk(cls.node):
+                yield cls, node
+
+
+def _is_program_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        chain = attribute_chain(base)
+        if chain and (
+            chain[-1] == "ClientProgram" or chain[-1].endswith("Program")
+        ):
+            return True
+    # Duck-typed: defines a program section taking an ``api`` parameter.
+    for stmt in node.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in PROGRAM_SECTIONS
+        ):
+            args = [a.arg for a in stmt.args.args]
+            if len(args) >= 2 and args[1] == "api":
+                return True
+    return False
+
+
+def build_model(source: str, path: str) -> ModuleModel:
+    """Parse ``source`` and index it for the lint rules.
+
+    Raises :class:`SyntaxError` if the file does not parse; the linter
+    converts that into a SODA000 diagnostic.
+    """
+    tree = ast.parse(source, filename=path)
+    program_classes: List[ProgramClass] = []
+    reserved_aliases: Set[str] = set()
+    reserved_factories: Set[str] = set()
+    reserved_locals: Set[str] = set()
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _is_program_class(node):
+            cls = ProgramClass(node=node)
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    cls.methods[stmt.name] = stmt
+                    if stmt.name in PROGRAM_SECTIONS:
+                        cls.sections[stmt.name] = stmt
+            program_classes.append(cls)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name in RESERVED_PATTERN_NAMES:
+                    reserved_aliases.add(local)
+                elif alias.name in RESERVED_PATTERN_FACTORIES:
+                    reserved_factories.add(local)
+
+    # Second pass: module-level names bound to reserved factory calls.
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            callee = attribute_chain(func)
+            if callee and (
+                callee[-1] in RESERVED_PATTERN_FACTORIES
+                or callee[-1] in reserved_factories
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        reserved_locals.add(target.id)
+
+    return ModuleModel(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        program_classes=program_classes,
+        reserved_aliases=reserved_aliases,
+        reserved_factories=reserved_factories,
+        reserved_locals=reserved_locals,
+    )
+
+
+def api_receiver(node: ast.AST) -> bool:
+    """Is this expression the SODAL api object (``api`` / ``self.api``)?"""
+    chain = normalized_chain(node)
+    return chain == ["api"]
+
+
+def api_call_name(call: ast.Call) -> Optional[str]:
+    """``api.foo(...)`` / ``self.api.foo(...)`` -> ``"foo"``, else None."""
+    if isinstance(call.func, ast.Attribute) and api_receiver(call.func.value):
+        return call.func.attr
+    return None

@@ -1,0 +1,165 @@
+"""Named trace workloads for ``python -m repro check-trace``.
+
+Each workload builds a small network with tracing on, runs it to
+quiescence, and returns the :class:`~repro.core.node.Network` so the
+invariant checker can replay the trace.  The set is chosen to exercise
+the protocol paths the checker watches: plain exchanges (echo), streamed
+non-blocking requests (stream), BUSY parking and queued accepts
+(queued), and the CANCEL path (cancel).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.workloads import (
+    BENCH_PATTERN,
+    AcceptingServer,
+    QueuedServer,
+    StreamingRequester,
+)
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.node import Network
+from repro.core.patterns import make_well_known_pattern
+
+ECHO_PATTERN = make_well_known_pattern(0o347)
+
+
+class _EchoServer(ClientProgram):
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(ECHO_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_exchange(get=buf, put=b"pong")
+
+
+class _EchoClient(ClientProgram):
+    def __init__(self, rounds: int = 4) -> None:
+        self.rounds = rounds
+        self.completions: List[str] = []
+
+    def task(self, api):
+        server = yield from api.discover(ECHO_PATTERN)
+        for i in range(self.rounds):
+            reply = Buffer(16)
+            completion = yield from api.b_exchange(
+                server, put=b"ping%d" % i, get=reply
+            )
+            self.completions.append(completion.status.value)
+        yield from api.serve_forever()
+
+
+class _SlowServer(ClientProgram):
+    """Accepts after burning handler time; provokes BUSY NACKs."""
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(ECHO_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield api.compute(30_000.0)
+            yield from api.accept_current_signal()
+
+
+class _NeverAcceptServer(ClientProgram):
+    """Leaves arrivals DELIVERED so the requester can CANCEL them."""
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(ECHO_PATTERN)
+
+    def handler(self, api, event):
+        return
+        yield  # pragma: no cover
+
+
+class _CancellingClient(ClientProgram):
+    def __init__(self) -> None:
+        self.cancel_status = None
+
+    def task(self, api):
+        server = yield from api.discover(ECHO_PATTERN)
+        tid = yield from api.signal(server)
+        # Give the REQUEST time to be delivered, then withdraw it.
+        yield api.compute(150_000.0)
+        self.cancel_status = yield from api.cancel(tid)
+        yield from api.serve_forever()
+
+
+def _echo() -> Network:
+    net = Network(seed=11)
+    net.add_node(program=_EchoServer(), name="server")
+    net.add_node(program=_EchoClient(), name="client", boot_at_us=100.0)
+    net.run(until=5_000_000.0)
+    return net
+
+
+def _stream() -> Network:
+    net = Network(seed=12)
+    net.add_node(program=AcceptingServer(reply_bytes=8), name="server")
+    net.add_node(
+        program=StreamingRequester(put_bytes=32, get_bytes=8, total=12),
+        name="client",
+        boot_at_us=100.0,
+    )
+    net.run(until=60_000_000.0)
+    return net
+
+
+def _queued() -> Network:
+    net = Network(seed=13)
+    net.add_node(program=QueuedServer(reply_bytes=0), name="server")
+    net.add_node(
+        program=StreamingRequester(put_bytes=0, get_bytes=0, total=8),
+        name="client",
+        boot_at_us=100.0,
+    )
+    net.run(until=60_000_000.0)
+    return net
+
+
+def _busy() -> Network:
+    net = Network(seed=14)
+    net.add_node(program=_SlowServer(), name="server")
+
+    class Pinger(ClientProgram):
+        def task(self, api):
+            server = api.server_sig(0, ECHO_PATTERN)
+            for _ in range(3):
+                yield from api.b_signal(server)
+            yield from api.serve_forever()
+
+    net.add_node(program=Pinger(), name="c1", boot_at_us=100.0)
+    net.add_node(program=Pinger(), name="c2", boot_at_us=150.0)
+    net.run(until=60_000_000.0)
+    return net
+
+
+def _cancel() -> Network:
+    net = Network(seed=15)
+    net.add_node(program=_NeverAcceptServer(), name="server")
+    net.add_node(program=_CancellingClient(), name="client", boot_at_us=100.0)
+    net.run(until=10_000_000.0)
+    return net
+
+
+WORKLOADS: Dict[str, Callable[[], Network]] = {
+    "echo": _echo,
+    "stream": _stream,
+    "queued": _queued,
+    "busy": _busy,
+    "cancel": _cancel,
+}
+
+
+def run_workload(name: str) -> Network:
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return factory()

@@ -108,6 +108,18 @@ class Connection:
         assert parked is not None
         self._cancel_timer("_busy_timer")
         self._cancel_timer("_retransmit_timer")
+        # The invariant checker must know the parked message gave its
+        # sequence bit away: its next transmission is a fresh send, not
+        # a retransmission, and the taker legitimately reuses the bit.
+        self.sim.trace.record(
+            self.sim.now,
+            "conn.seq_swap",
+            mid=self.kernel.mid,
+            peer=self.peer_mid,
+            parked_pid=parked.packet.packet_id,
+            taker_pid=self.outbox[0].packet.packet_id,
+            seq=self.send_seq,
+        )
         parked.packet.seq = None
         parked.busy_attempts = 0
         message = self.outbox.popleft()

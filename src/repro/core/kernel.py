@@ -220,6 +220,38 @@ class SodaKernel:
             self.connections[mid] = conn
         return conn
 
+    def _set_delivered_state(
+        self, delivered: DeliveredRequest, state: DeliveredState
+    ) -> None:
+        """Transition a delivered request, tracing the change.
+
+        The ``kernel.delivered_state`` records drive the post-run leak
+        check (every DELIVERED request must reach DONE or CANCELLED);
+        no-op transitions are not recorded.
+        """
+        if delivered.state is state:
+            return
+        delivered.state = state
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.delivered_state",
+            mid=self.mid,
+            src=delivered.sig.mid,
+            tid=delivered.sig.tid,
+            state=state.value,
+        )
+
+    def _note_delivered(self, delivered: DeliveredRequest) -> None:
+        self.delivered[delivered.sig] = delivered
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.delivered_state",
+            mid=self.mid,
+            src=delivered.sig.mid,
+            tid=delivered.sig.tid,
+            state=delivered.state.value,
+        )
+
     def _outstanding_count(self) -> int:
         return sum(1 for record in self.requests.values() if record.open)
 
@@ -271,6 +303,13 @@ class SodaKernel:
             ptype=packet.ptype.value,
             desc=packet.describe(),
             bytes=packet.data_bytes,
+            # Fields consumed by the trace invariant checker
+            # (repro.analysis.invariants): alternating bit, packet
+            # identity (stable across retransmissions), piggybacked ack.
+            seq=packet.seq,
+            pid=packet.packet_id,
+            tid=packet.tid,
+            ack=packet.ack,
         )
 
     def on_frame(self, frame: Frame) -> None:
@@ -298,6 +337,10 @@ class SodaKernel:
             src=src,
             ptype=packet.ptype.value,
             desc=packet.describe(),
+            seq=packet.seq,
+            tid=packet.tid,
+            ack=packet.ack,
+            nack=packet.nack_code.value if packet.nack_code else None,
         )
         conn = self._conn(src)
         conn.note_heard()
@@ -372,7 +415,7 @@ class SodaKernel:
                 pending.resolve(status)
             delivered = self.delivered.get(sig)
             if delivered is not None:
-                delivered.state = DeliveredState.DONE
+                self._set_delivered_state(delivered, DeliveredState.DONE)
 
     # ------------------------------------------------------------------
     # REQUEST arrival (server side)
@@ -441,13 +484,15 @@ class SodaKernel:
 
     def _deliver_arrival(self, src: int, packet: Packet) -> None:
         sig = RequesterSignature(src, packet.tid)
-        self.delivered[sig] = DeliveredRequest(
-            sig=sig,
-            pattern=packet.pattern,
-            arg=packet.arg,
-            put_size=packet.put_size,
-            get_size=packet.get_size,
-            put_data=packet.data,
+        self._note_delivered(
+            DeliveredRequest(
+                sig=sig,
+                pattern=packet.pattern,
+                arg=packet.arg,
+                put_size=packet.put_size,
+                get_size=packet.get_size,
+                put_data=packet.data,
+            )
         )
         event = HandlerEvent(
             reason=HandlerReason.REQUEST_ARRIVAL,
@@ -510,6 +555,7 @@ class SodaKernel:
     def client_endhandler(self) -> Optional[HandlerEvent]:
         """ENDHANDLER: returns an event to run immediately, if any."""
         self.ledger.charge("context_switch", self.config.timing.endhandler_us)
+        self.sim.trace.record(self.sim.now, "kernel.endhandler", mid=self.mid)
         self._handler_busy = False
         if self._pending_handler_open is not None:
             self.handler_open = self._pending_handler_open
@@ -536,13 +582,15 @@ class SodaKernel:
             src, packet = held.src, held.packet
             self._handler_busy = True
             sig = RequesterSignature(src, packet.tid)
-            self.delivered[sig] = DeliveredRequest(
-                sig=sig,
-                pattern=packet.pattern,
-                arg=packet.arg,
-                put_size=packet.put_size,
-                get_size=packet.get_size,
-                put_data=packet.data,
+            self._note_delivered(
+                DeliveredRequest(
+                    sig=sig,
+                    pattern=packet.pattern,
+                    arg=packet.arg,
+                    put_size=packet.put_size,
+                    get_size=packet.get_size,
+                    put_data=packet.data,
+                )
             )
             self.ledger.charge(
                 "context_switch", self.config.timing.context_switch_us
@@ -822,7 +870,7 @@ class SodaKernel:
                 AcceptStatus.CRASHED,
             )
             return future
-        delivered.state = DeliveredState.ACCEPTED
+        self._set_delivered_state(delivered, DeliveredState.ACCEPTED)
         taken_put = min(delivered.put_size, get_buffer.capacity)
         taken_get = min(len(put_data), delivered.get_size)
         pull = delivered.put_data is None and taken_put > 0
@@ -885,14 +933,14 @@ class SodaKernel:
     ) -> None:
         # Dataless ACCEPT: the exchange was local; unblock the server as
         # soon as the kernel has noted and dispatched the command.
-        delivered.state = DeliveredState.DONE
+        self._set_delivered_state(delivered, DeliveredState.DONE)
         pending.resolve(AcceptStatus.SUCCESS)
 
     def _accept_acked(
         self, pending: PendingAccept, delivered: DeliveredRequest
     ) -> None:
         if pending.wait_for == "ack":
-            delivered.state = DeliveredState.DONE
+            self._set_delivered_state(delivered, DeliveredState.DONE)
             self.pending_accepts.pop(pending.sig, None)
             pending.resolve(AcceptStatus.SUCCESS)
         # wait_for == "data": resolution happens when the DATA arrives.
@@ -900,7 +948,7 @@ class SodaKernel:
     def _accept_peer_dead(
         self, pending: PendingAccept, delivered: DeliveredRequest
     ) -> None:
-        delivered.state = DeliveredState.DONE
+        self._set_delivered_state(delivered, DeliveredState.DONE)
         self.pending_accepts.pop(pending.sig, None)
         pending.resolve(AcceptStatus.CRASHED)
 
@@ -917,7 +965,7 @@ class SodaKernel:
             pending.get_buffer.write(packet.data)
         delivered = self.delivered.get(sig)
         if delivered is not None:
-            delivered.state = DeliveredState.DONE
+            self._set_delivered_state(delivered, DeliveredState.DONE)
         pending.resolve(AcceptStatus.SUCCESS)
 
     # -- CANCEL ----------------------------------------------------------
@@ -974,7 +1022,7 @@ class SodaKernel:
         delivered = self.delivered.get(sig)
         ok = delivered is not None and delivered.state is DeliveredState.DELIVERED
         if ok:
-            delivered.state = DeliveredState.CANCELLED
+            self._set_delivered_state(delivered, DeliveredState.CANCELLED)
         reply = Packet(
             PacketType.CANCEL_REPLY,
             tid=packet.tid,
@@ -1315,6 +1363,7 @@ class SodaKernel:
         # Every TID issued so far belongs to the dead incarnation; an
         # ACCEPT naming one must be answered CRASHED, not CANCELLED
         # (§3.6.1 "stale" ACCEPTs).
+        self.sim.trace.record(self.sim.now, "kernel.client_reset", mid=self.mid)
         self._tid_watermark = self.uidgen.counter
         self.patterns.clear()
         self.completion_queue.clear()

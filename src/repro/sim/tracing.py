@@ -65,6 +65,16 @@ class Tracer:
                 out.append(record)
         return out
 
+    def iter_category(self, category: str):
+        """Lazily yield retained records of one category, in time order."""
+        for record in self.records:
+            if record.category == category:
+                yield record
+
+    def categories(self) -> List[str]:
+        """All categories seen so far (retained or counted), sorted."""
+        return sorted(self.counters)
+
     def last(self, category: str) -> Optional[TraceRecord]:
         for record in reversed(self.records):
             if record.category == category:

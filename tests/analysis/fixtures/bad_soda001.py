@@ -1,0 +1,12 @@
+"""Violates SODA001: blocking task-level primitives in handler context."""
+
+from repro.core import Buffer, ClientProgram
+
+
+class BlockingHandler(ClientProgram):
+    def handler(self, api, event):
+        if event.is_arrival:
+            reply = Buffer(8)
+            # B_EXCHANGE from a handler triggers the saved-PC maneuver.
+            yield from api.b_exchange(event.source, put=b"x", get=reply)
+        yield from api.sleep(1_000.0)

@@ -1,0 +1,13 @@
+"""Violates SODA002: ADVERTISE of reserved kernel patterns."""
+
+from repro.core import ClientProgram
+from repro.core.boot import SYSTEM_PATTERN, boot_pattern_for
+
+MY_BOOT = boot_pattern_for("vax")
+
+
+class PatternSquatter(ClientProgram):
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(SYSTEM_PATTERN)
+        yield from api.advertise(MY_BOOT)
+        yield from api.advertise(boot_pattern_for("pdp11"))

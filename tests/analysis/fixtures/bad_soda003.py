@@ -1,0 +1,15 @@
+"""Violates SODA003: non-blocking REQUESTs with no completion path."""
+
+from repro.core import ClientProgram
+
+
+class FireAndForget(ClientProgram):
+    def task(self, api):
+        yield from api.signal(3)
+        yield from api.put(3, put=b"payload")
+        # The TIDs are dropped and the handler never looks at
+        # completions: both request slots leak.
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield from api.reject()

@@ -1,0 +1,14 @@
+"""Violates SODA004: client code nesting handler invocations."""
+
+from repro.core import ClientProgram
+
+
+class HandlerNester(ClientProgram):
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield from api.accept_current()
+        self.handler(api, event)
+
+    def task(self, api):
+        yield from api.serve_forever()
+        api.kernel.run_handler()

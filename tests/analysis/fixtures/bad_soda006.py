@@ -1,0 +1,12 @@
+"""Violates SODA006: client code mutating kernel-owned state."""
+
+from repro.core import ClientProgram
+
+
+class KernelMeddler(ClientProgram):
+    def task(self, api):
+        api.kernel.patterns = {}
+        api.kernel.handler_busy = False
+        self.api.kernel.max_requests = 99
+        api._deliver_arrival(None)
+        yield from api.serve_forever()

@@ -1,0 +1,14 @@
+"""Clean counterpart to bad_soda001: blocking calls stay in the task."""
+
+from repro.core import Buffer, ClientProgram
+
+
+class PoliteHandler(ClientProgram):
+    def handler(self, api, event):
+        if event.is_arrival:
+            yield from api.accept_current(put=b"pong")
+
+    def task(self, api):
+        reply = Buffer(8)
+        yield from api.b_exchange(3, put=b"x", get=reply)
+        yield from api.sleep(1_000.0)

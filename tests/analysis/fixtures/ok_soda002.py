@@ -1,0 +1,13 @@
+"""Clean counterpart to bad_soda002: well-known client patterns only."""
+
+from repro.core import ClientProgram
+from repro.core.patterns import make_well_known_pattern
+
+SERVICE = make_well_known_pattern(0o4321)
+
+
+class WellKnownServer(ClientProgram):
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(SERVICE)
+        unique = yield from api.getuniqueid()
+        yield from api.advertise(unique)

@@ -1,0 +1,18 @@
+"""Clean counterpart to bad_soda003: the handler consumes completions."""
+
+from repro.core import ClientProgram
+
+
+class CompletionAware(ClientProgram):
+    def __init__(self):
+        self.done = 0
+
+    def task(self, api):
+        yield from api.signal(3)
+        yield from api.put(3, put=b"payload")
+
+    def handler(self, api, event):
+        if event.is_completion:
+            self.done += 1
+        return
+        yield

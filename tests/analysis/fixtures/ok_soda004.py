@@ -1,0 +1,16 @@
+"""Clean counterpart to bad_soda004: shared logic lives in a helper."""
+
+from repro.core import ClientProgram
+
+
+class SharedHelper(ClientProgram):
+    def _note(self, event):
+        self.last = event
+
+    def handler(self, api, event):
+        self._note(event)
+        if event.is_arrival:
+            yield from api.accept_current()
+
+    def task(self, api):
+        yield from api.serve_forever()

@@ -1,0 +1,16 @@
+"""Clean counterpart to bad_soda006: kernel state changed via primitives."""
+
+from repro.core import ClientProgram
+from repro.core.patterns import make_well_known_pattern
+
+SERVICE = make_well_known_pattern(0o4324)
+
+
+class LawAbiding(ClientProgram):
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(SERVICE)
+
+    def task(self, api):
+        yield from api.unadvertise(SERVICE)
+        self.rounds = 0
+        yield from api.serve_forever()

@@ -1,0 +1,17 @@
+"""Pragma fixture: a standalone disable comment covers the whole file."""
+
+# sodalint: disable=SODA005
+
+from repro.core import ClientProgram
+from repro.core.patterns import make_well_known_pattern
+
+SERVICE = make_well_known_pattern(0o4326)
+
+
+class FileWideQuiet(ClientProgram):
+    def initialization(self, api, parent_mid):
+        api.advertise(SERVICE)
+        yield api.getuniqueid()
+
+    def handler(self, api, event):
+        yield from api.sleep(10.0)

@@ -1,0 +1,12 @@
+"""Pragma fixture: a line-scoped disable suppresses only the named rule."""
+
+from repro.core import ClientProgram
+from repro.core.patterns import make_well_known_pattern
+
+SERVICE = make_well_known_pattern(0o4325)
+
+
+class PartiallyQuiet(ClientProgram):
+    def task(self, api):
+        yield from api.signal(7)  # sodalint: disable=SODA003
+        api.advertise(SERVICE)

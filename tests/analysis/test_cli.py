@@ -1,0 +1,63 @@
+"""CLI surface: `python -m repro lint` and `python -m repro check-trace`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.cli import run_check_trace, run_lint
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def collect():
+    lines = []
+    return lines, lines.append
+
+
+def test_lint_is_clean_on_shipped_programs():
+    status = main(
+        ["lint", str(ROOT / "src" / "repro" / "apps"), str(ROOT / "examples")]
+    )
+    assert status == 0
+
+
+@pytest.mark.parametrize(
+    "fixture", sorted(p.name for p in FIXTURES.glob("bad_*.py"))
+)
+def test_lint_fails_on_each_bad_fixture(fixture):
+    lines, out = collect()
+    status = run_lint([str(FIXTURES / fixture)], out=out)
+    assert status == 1
+    assert any("SODA" in line for line in lines)
+
+
+def test_lint_disable_flag_silences_a_rule():
+    lines, out = collect()
+    status = run_lint(
+        ["--disable=SODA001", str(FIXTURES / "bad_soda001.py")], out=out
+    )
+    assert status == 0
+
+
+def test_check_trace_clean_workload():
+    lines, out = collect()
+    status = run_check_trace(["echo"], out=out)
+    assert status == 0
+    assert any("echo: ok" in line for line in lines)
+
+
+def test_check_trace_rejects_unknown_workload():
+    lines, out = collect()
+    status = run_check_trace(["no-such-workload"], out=out)
+    assert status != 0
+
+
+def test_main_help_mentions_analysis_commands():
+    import repro.__main__ as entry
+
+    assert "lint" in entry.__doc__
+    assert "check-trace" in entry.__doc__

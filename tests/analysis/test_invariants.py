@@ -1,0 +1,221 @@
+"""Invariant checker tests: fabricated traces per invariant, plus a
+seeded protocol bug that the checker must catch on a real run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import InvariantChecker, check_network
+from repro.analysis.workloads import WORKLOADS, run_workload
+from repro.sim.tracing import CostLedger, Tracer
+from repro.transport.retransmit import RetransmitPolicy
+
+
+def checker(**kwargs) -> InvariantChecker:
+    kwargs.setdefault("policy", RetransmitPolicy())
+    return InvariantChecker(**kwargs)
+
+
+def tx(trace, t, seq, pid, mid=1, dst=2, nbytes=0):
+    trace.record(t, "kernel.tx", mid=mid, dst=dst, seq=seq, pid=pid, bytes=nbytes)
+
+
+def invariants(violations):
+    return {v.invariant for v in violations}
+
+
+# -- INV-SEQ -----------------------------------------------------------
+
+
+def test_clean_alternation_passes():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 100.0, 0, 1)  # retransmission keeps its bit
+    tx(trace, 200.0, 1, 2)
+    tx(trace, 300.0, 0, 3)
+    assert checker().check(trace) == []
+
+
+def test_reused_sequence_bit_is_flagged():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 100.0, 0, 2)
+    assert invariants(checker().check(trace)) == {"INV-SEQ"}
+
+
+def test_retransmission_changing_bit_is_flagged():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 100.0, 1, 1)
+    assert invariants(checker().check(trace)) == {"INV-SEQ"}
+
+
+def test_busy_nack_legitimizes_resync():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    trace.record(50.0, "kernel.rx", mid=1, src=2, nack="busy")
+    tx(trace, 100.0, 0, 2)
+    assert checker().check(trace) == []
+
+
+def test_seq_swap_legitimizes_resync():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    trace.record(
+        50.0, "conn.seq_swap", mid=1, peer=2, parked_pid=1, taker_pid=2, seq=0
+    )
+    tx(trace, 100.0, 0, 2)
+    assert checker().check(trace) == []
+
+
+def test_peer_dead_legitimizes_resync():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    trace.record(50.0, "conn.peer_dead", mid=1, peer=2)
+    tx(trace, 100.0, 0, 2)
+    assert checker().check(trace) == []
+
+
+# -- INV-DELTAT --------------------------------------------------------
+
+
+def test_too_many_retransmissions_is_flagged():
+    policy = RetransmitPolicy()
+    trace = Tracer()
+    for i in range(policy.max_ack_attempts + 2):
+        tx(trace, i * 100.0, 0, 1)
+    assert invariants(checker().check(trace)) == {"INV-DELTAT"}
+
+
+def test_retransmission_window_bound_is_flagged():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 10_000_000.0, 0, 1)  # second send ten simulated seconds later
+    assert invariants(checker().check(trace)) == {"INV-DELTAT"}
+
+
+def test_busy_parked_messages_are_exempt():
+    trace = Tracer()
+    for i in range(20):
+        tx(trace, i * 1_000_000.0, 0, 1)
+    trace.record(5.0, "kernel.rx", mid=1, src=2, nack="busy")
+    assert checker().check(trace) == []
+
+
+# -- INV-HANDLER -------------------------------------------------------
+
+
+def test_nested_handler_is_flagged():
+    trace = Tracer()
+    trace.record(0.0, "kernel.interrupt", mid=3)
+    trace.record(10.0, "kernel.interrupt", mid=3)
+    assert invariants(checker().check(trace)) == {"INV-HANDLER"}
+
+
+def test_alternating_handler_is_clean():
+    trace = Tracer()
+    for base in (0.0, 100.0):
+        trace.record(base, "kernel.interrupt", mid=3)
+        trace.record(base + 50.0, "kernel.endhandler", mid=3)
+    assert checker().check(trace) == []
+
+
+# -- INV-COMPLETE ------------------------------------------------------
+
+
+def delivered(trace, t, state, mid=2, src=1, tid=7):
+    trace.record(
+        t, "kernel.delivered_state", mid=mid, src=src, tid=tid, state=state
+    )
+
+
+def test_illegal_transition_is_flagged():
+    trace = Tracer()
+    delivered(trace, 0.0, "accepted")  # accepted before delivered
+    assert invariants(checker().check(trace)) == {"INV-COMPLETE"}
+
+
+def test_unfinished_request_is_a_leak_in_strict_mode():
+    trace = Tracer()
+    delivered(trace, 0.0, "delivered")
+    strict = checker(strict_completion=True).check(trace)
+    assert invariants(strict) == {"INV-COMPLETE"}
+    assert checker(strict_completion=False).check(trace) == []
+
+
+def test_full_lifecycle_is_clean():
+    trace = Tracer()
+    delivered(trace, 0.0, "delivered")
+    delivered(trace, 10.0, "accepted")
+    delivered(trace, 20.0, "done")
+    assert checker().check(trace) == []
+
+
+def test_crash_forgives_unfinished_requests():
+    trace = Tracer()
+    delivered(trace, 0.0, "delivered", mid=5)
+    trace.record(10.0, "kernel.crash", mid=5)
+    assert checker(strict_completion=True).check(trace) == []
+
+
+# -- INV-LEDGER --------------------------------------------------------
+
+
+def test_unknown_ledger_category_is_flagged():
+    ledger = CostLedger()
+    ledger.charge("protocol", 10.0)
+    ledger.charge("bogus", 1.0)
+    violations = checker().check(Tracer(), ledger=ledger)
+    assert invariants(violations) == {"INV-LEDGER"}
+
+
+def test_inconsistent_ledger_total_is_flagged():
+    class BrokenLedger(CostLedger):
+        def total(self):
+            return super().total() + 42.0
+
+    ledger = BrokenLedger()
+    ledger.charge("protocol", 10.0)
+    violations = checker().check(Tracer(), ledger=ledger)
+    assert invariants(violations) == {"INV-LEDGER"}
+
+
+def test_consistent_ledger_is_clean():
+    ledger = CostLedger()
+    ledger.charge("protocol", 10.0)
+    ledger.charge("transmission", 2.5)
+    assert checker().check(Tracer(), ledger=ledger) == []
+
+
+# -- end-to-end --------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_shipped_workloads_hold_all_invariants(name):
+    net = run_workload(name)
+    violations = check_network(net, strict_completion=True)
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+@pytest.mark.no_auto_invariants
+def test_seeded_ack_bug_is_detected(monkeypatch):
+    """A kernel that stops flipping the alternating bit on ACK must be
+    caught by INV-SEQ when the trace is replayed."""
+    from repro.core.connection import Connection
+
+    def sticky_ack(self, ack_seq):
+        message = self.outstanding
+        if message is None or message.packet.seq != ack_seq:
+            return
+        self.outstanding = None
+        self._cancel_timer("_retransmit_timer")
+        self._cancel_timer("_busy_timer")
+        # Seeded bug: self.send_seq is never flipped here.
+        if message.on_acked is not None:
+            message.on_acked()
+        self._pump()
+
+    monkeypatch.setattr(Connection, "handle_ack", sticky_ack)
+    net = run_workload("echo")
+    violations = check_network(net, strict_completion=False)
+    assert any(v.invariant == "INV-SEQ" for v in violations)

@@ -83,6 +83,59 @@ class RecordingServer(ClientProgram):
         yield  # pragma: no cover
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-invariants",
+        action="store_true",
+        default=False,
+        help=(
+            "replay every Network trace through the protocol invariant "
+            "checker (repro.analysis.invariants) when each test finishes"
+        ),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _trace_invariant_watch(request, monkeypatch):
+    """Opt-in post-test trace replay (docs/ANALYSIS.md).
+
+    Enabled by ``--check-invariants`` or the ``check_invariants`` marker
+    (tests/integration applies the marker to everything it collects).
+    Tests that seed protocol bugs on purpose opt out with the
+    ``no_auto_invariants`` marker.
+    """
+    opted_in = request.config.getoption("--check-invariants") or (
+        request.node.get_closest_marker("check_invariants") is not None
+    )
+    if not opted_in or request.node.get_closest_marker("no_auto_invariants"):
+        yield
+        return
+
+    from repro.analysis.invariants import check_network
+
+    seen: List[Network] = []
+    original_run = Network.run
+
+    def tracked_run(self, *args, **kwargs):
+        if all(net is not self for net in seen):
+            seen.append(self)
+        return original_run(self, *args, **kwargs)
+
+    monkeypatch.setattr(Network, "run", tracked_run)
+    yield
+    problems = []
+    for net in seen:
+        if not net.sim.trace.keep_records:
+            continue  # counters-only runs cannot be replayed
+        for violation in check_network(net, strict_completion=False):
+            problems.append(violation.format())
+    if problems:
+        pytest.fail(
+            "trace invariant violations:\n" + "\n".join(problems),
+            pytrace=False,
+        )
+
+
 @pytest.fixture
 def network() -> Network:
     return Network(seed=42)

@@ -1,0 +1,19 @@
+"""Integration tests always run under the trace invariant watcher."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        try:
+            in_here = Path(str(item.fspath)).resolve().is_relative_to(_HERE)
+        except (OSError, ValueError):
+            continue
+        if in_here:
+            item.add_marker(pytest.mark.check_invariants)

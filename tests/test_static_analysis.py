@@ -1,0 +1,37 @@
+"""Tier-1 gate: shipped programs lint clean, configs are present.
+
+This is the enforcement point for the sodalint conventions: any app or
+example that starts violating a SODA rule fails the suite, and the bad
+fixtures guarantee the linter itself still has teeth.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.linter import has_errors
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_shipped_programs_lint_clean():
+    diags = lint_paths([ROOT / "src" / "repro" / "apps", ROOT / "examples"])
+    assert not has_errors(diags), "\n".join(d.format() for d in diags)
+
+
+def test_bad_fixtures_still_fail_the_linter():
+    fixtures = ROOT / "tests" / "analysis" / "fixtures"
+    bad = sorted(fixtures.glob("bad_*.py"))
+    assert len(bad) >= 6, "expected one violating fixture per rule"
+    for path in bad:
+        assert has_errors(lint_paths([path])), (
+            f"{path.name} should fail the linter"
+        )
+
+
+def test_pyproject_carries_static_analysis_config():
+    text = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.ruff]" in text
+    assert "[tool.mypy]" in text
+    assert "check_invariants" in text
