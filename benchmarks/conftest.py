@@ -4,14 +4,19 @@ Each benchmark registers the table/figure it reproduced with
 :func:`register_result`; a terminal-summary hook prints everything at the
 end of the run, so ``pytest benchmarks/ --benchmark-only | tee ...``
 captures the reproduced tables alongside pytest-benchmark's timings.
+
+Benchmarks may also call :func:`register_payload` with a JSON-ready dict;
+running with ``--bench-json PATH`` writes all registered payloads as one
+``soda.bench/1`` snapshot (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 _RESULTS: Dict[str, str] = {}
 _ORDER: List[str] = []
+_PAYLOADS: Dict[str, Any] = {}
 
 
 def register_result(name: str, rendered: str) -> None:
@@ -20,12 +25,32 @@ def register_result(name: str, rendered: str) -> None:
     _RESULTS[name] = rendered
 
 
+def register_payload(name: str, payload: Any) -> None:
+    """Register the machine-readable form of a reproduced result."""
+    _PAYLOADS[name] = payload
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write registered benchmark payloads as one JSON snapshot",
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _RESULTS:
-        return
-    terminalreporter.section("reproduced paper tables and figures")
-    for name in _ORDER:
-        terminalreporter.write_line("")
-        terminalreporter.write_line(f"=== {name} ===")
-        for line in _RESULTS[name].splitlines():
-            terminalreporter.write_line(line)
+    if _RESULTS:
+        terminalreporter.section("reproduced paper tables and figures")
+        for name in _ORDER:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(f"=== {name} ===")
+            for line in _RESULTS[name].splitlines():
+                terminalreporter.write_line(line)
+    target = config.getoption("--bench-json")
+    if target and _PAYLOADS:
+        from repro.obs.export import snapshot_payload, write_snapshot
+
+        body = {name: _PAYLOADS[name] for name in sorted(_PAYLOADS)}
+        write_snapshot(target, snapshot_payload("benchmark_suite", body))
+        terminalreporter.write_line(f"benchmark payloads written to {target}")

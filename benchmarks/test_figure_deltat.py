@@ -8,7 +8,7 @@ figure describes.
 
 from repro.bench.deltat_figure import deltat_scenarios
 
-from conftest import register_result
+from conftest import register_payload, register_result
 
 
 def test_deltat_scenarios(benchmark):
@@ -19,6 +19,10 @@ def test_deltat_scenarios(benchmark):
         for t_ms, event in scenario.events:
             lines.append(f"    t={t_ms:9.1f} ms  {event}")
     register_result("F1 Delta-t situations", "\n".join(lines))
+    register_payload(
+        "deltat_scenarios",
+        {name: s.to_dict() for name, s in sorted(results.items())},
+    )
     assert all(s.ok for s in results.values()), {
         name: s.ok for name, s in results.items()
     }

@@ -12,7 +12,7 @@ import pytest
 from repro.bench.comparison import measure_comparison
 from repro.bench.tables import format_table
 
-from conftest import register_result
+from conftest import register_payload, register_result
 
 
 def test_starmod_comparison(benchmark):
@@ -38,6 +38,9 @@ def test_starmod_comparison(benchmark):
         f"  (paper: {11.1 / 5.8:.2f}x)"
     )
     register_result("C1-C2 *MOD comparison", rendered)
+    register_payload(
+        "starmod_comparison", {"rows": [r.to_dict() for r in rows]}
+    )
 
     # Absolute values within 20% of publication.
     for row in rows:

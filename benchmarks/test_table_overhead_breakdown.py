@@ -9,7 +9,7 @@ import pytest
 from repro.bench.breakdown import measure_signal_breakdown
 from repro.bench.tables import format_table
 
-from conftest import register_result
+from conftest import register_payload, register_result
 
 
 def test_overhead_breakdown(benchmark):
@@ -26,6 +26,7 @@ def test_overhead_breakdown(benchmark):
     )
     rendered += f"\nelapsed B_SIGNAL call: {result.elapsed_call_ms:.2f} ms"
     register_result("T4 overhead breakdown", rendered)
+    register_payload("overhead_breakdown", result.to_dict())
 
     for name, paper_ms in result.paper_ms.items():
         assert result.measured_ms[name] == pytest.approx(paper_ms, rel=0.25), name

@@ -20,7 +20,7 @@ from repro.bench.perf_tables import (
 )
 from repro.bench.tables import format_table
 
-from conftest import register_result
+from conftest import register_payload, register_result
 
 #: Subset of the paper's 12 columns used for benching (keeps wall time
 #: reasonable; examples/performance_tables.py regenerates all 12).
@@ -54,6 +54,9 @@ def test_performance_table(benchmark, variant):
         title=f"{verb.upper()} ({'pipelined' if pipelined else 'non-pipelined'})",
     )
     register_result(f"T1-T3 {_variant_id(variant)}", rendered)
+    register_payload(
+        f"performance.{_variant_id(variant)}", [r.to_dict() for r in rows]
+    )
 
     expected_packets = PAPER_PACKETS[(verb, pipelined)]
     for row in rows:

@@ -5,13 +5,39 @@
     python -m repro breakdown         # overhead-breakdown table
     python -m repro comparison        # SODA vs *MOD
     python -m repro deltat            # Delta-t figure scenarios
+    python -m repro metrics [workload]  # observability report (repro.obs)
     python -m repro lint [paths...]   # sodalint protocol linter
     python -m repro check-trace [workload...]  # trace invariant checker
+
+The benchmark commands (tables, breakdown, comparison, deltat, metrics)
+accept ``--json PATH`` to also write a machine-readable ``BENCH_*.json``
+snapshot; ``metrics`` additionally accepts ``--jsonl PATH`` for
+one-metric-per-line output.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import List, Optional
+
+
+def _take_flag_value(argv: List[str], flag: str) -> Optional[str]:
+    """Remove ``flag VALUE`` from argv in place; return VALUE or None."""
+    if flag not in argv:
+        return None
+    index = argv.index(flag)
+    if index + 1 >= len(argv):
+        raise SystemExit(f"{flag} requires a path argument")
+    value = argv[index + 1]
+    del argv[index : index + 2]
+    return value
+
+
+def _write_payload(json_path: str, kind: str, body, meta=None) -> None:
+    from repro.obs.export import snapshot_payload, write_snapshot
+
+    write_snapshot(json_path, snapshot_payload(kind, body, meta=meta))
+    print(f"wrote {json_path}")
 
 
 def _quickstart() -> None:
@@ -46,7 +72,7 @@ def _quickstart() -> None:
     print(f"  {net.bus.frames_sent} frames on the bus")
 
 
-def _tables(quick: bool) -> None:
+def _tables(quick: bool, json_path: Optional[str] = None) -> None:
     from repro.bench import (
         WORD_SIZES,
         format_table,
@@ -54,6 +80,7 @@ def _tables(quick: bool) -> None:
     )
 
     sizes = [0, 1, 100, 500, 1000] if quick else WORD_SIZES
+    body = {}
     for verb in ("put", "get", "exchange"):
         for pipelined in (False, True):
             rows = generate_performance_table(verb, pipelined, sizes=sizes)
@@ -66,9 +93,18 @@ def _tables(quick: bool) -> None:
                 )
             )
             print()
+            key = "pipelined" if pipelined else "non_pipelined"
+            body[f"{verb}.{key}"] = [r.to_dict() for r in rows]
+    if json_path:
+        _write_payload(
+            json_path,
+            "performance_tables",
+            body,
+            meta={"quick": quick, "word_sizes": sizes},
+        )
 
 
-def _breakdown() -> None:
+def _breakdown(json_path: Optional[str] = None) -> None:
     from repro.bench import format_table, measure_signal_breakdown
 
     result = measure_signal_breakdown()
@@ -84,9 +120,11 @@ def _breakdown() -> None:
         )
     )
     print(f"elapsed B_SIGNAL: {result.elapsed_call_ms:.2f} ms")
+    if json_path:
+        _write_payload(json_path, "overhead_breakdown", result.to_dict())
 
 
-def _comparison() -> None:
+def _comparison(json_path: Optional[str] = None) -> None:
     from repro.bench import format_table, measure_comparison
 
     rows = measure_comparison()
@@ -97,30 +135,95 @@ def _comparison() -> None:
             title="SODA vs *MOD",
         )
     )
+    if json_path:
+        _write_payload(
+            json_path,
+            "starmod_comparison",
+            {"rows": [r.to_dict() for r in rows]},
+        )
 
 
-def _deltat() -> None:
+def _deltat(json_path: Optional[str] = None) -> None:
     from repro.bench import deltat_scenarios
 
-    for scenario in deltat_scenarios().values():
+    scenarios = deltat_scenarios()
+    for scenario in scenarios.values():
         print(f"{scenario.name} [{'ok' if scenario.ok else 'FAILED'}]")
         for t_ms, event in scenario.events:
             print(f"    t={t_ms:9.1f} ms  {event}")
+    if json_path:
+        _write_payload(
+            json_path,
+            "deltat_scenarios",
+            {name: s.to_dict() for name, s in sorted(scenarios.items())},
+        )
+
+
+def _metrics(
+    argv: List[str],
+    json_path: Optional[str] = None,
+    jsonl_path: Optional[str] = None,
+) -> int:
+    from repro.analysis.workloads import run_workload
+    from repro.bench.tables import format_table
+    from repro.obs import (
+        MetricsHub,
+        render_metrics,
+        render_span_table,
+        write_metrics_jsonl,
+    )
+
+    workload = argv[0] if argv else "signal"
+    try:
+        net = run_workload(workload)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+    report = MetricsHub().ingest(net)
+    print(render_span_table(report.spans))
+    print()
+    print(render_metrics(report.snapshot))
+    print()
+    ledger_rows = [
+        (category, us / 1000.0)
+        for category, us in sorted(report.ledger.items())
+    ]
+    ledger_rows.append(("TOTAL", sum(report.ledger.values()) / 1000.0))
+    print(
+        format_table(
+            ["category", "ms"], ledger_rows, title="Cost breakdown"
+        )
+    )
+    if json_path:
+        _write_payload(
+            json_path,
+            "metrics",
+            report.to_dict(),
+            meta={"workload": workload},
+        )
+    if jsonl_path:
+        write_metrics_jsonl(jsonl_path, report.snapshot)
+        print(f"wrote {jsonl_path}")
+    return 0
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    json_path = _take_flag_value(argv, "--json")
+    jsonl_path = _take_flag_value(argv, "--jsonl")
     command = argv[0] if argv else "quickstart"
     if command == "quickstart":
         _quickstart()
     elif command == "tables":
-        _tables(quick="--quick" in argv)
+        _tables(quick="--quick" in argv, json_path=json_path)
     elif command == "breakdown":
-        _breakdown()
+        _breakdown(json_path=json_path)
     elif command == "comparison":
-        _comparison()
+        _comparison(json_path=json_path)
     elif command == "deltat":
-        _deltat()
+        _deltat(json_path=json_path)
+    elif command == "metrics":
+        return _metrics(argv[1:], json_path=json_path, jsonl_path=jsonl_path)
     elif command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List
 from repro.bench.workloads import (
     BENCH_PATTERN,
     AcceptingServer,
+    BlockingSignaler,
     QueuedServer,
     StreamingRequester,
 )
@@ -145,12 +146,24 @@ def _cancel() -> Network:
     return net
 
 
+def _signal() -> Network:
+    """Blocking B_SIGNALs against BENCH_PATTERN — the §5.5 scenario."""
+    net = Network(seed=16)
+    net.add_node(program=AcceptingServer(), name="server")
+    net.add_node(
+        program=BlockingSignaler(total=6), name="client", boot_at_us=100.0
+    )
+    net.run(until=60_000_000.0)
+    return net
+
+
 WORKLOADS: Dict[str, Callable[[], Network]] = {
     "echo": _echo,
     "stream": _stream,
     "queued": _queued,
     "busy": _busy,
     "cancel": _cancel,
+    "signal": _signal,
 }
 
 

@@ -12,12 +12,17 @@
 * :mod:`repro.bench.tables` — plain-text table rendering.
 """
 
-from repro.bench.breakdown import BREAKDOWN_PAPER_MS, measure_signal_breakdown
-from repro.bench.comparison import measure_comparison
-from repro.bench.deltat_figure import deltat_scenarios
+from repro.bench.breakdown import (
+    BREAKDOWN_PAPER_MS,
+    BreakdownResult,
+    measure_signal_breakdown,
+)
+from repro.bench.comparison import ComparisonRow, measure_comparison
+from repro.bench.deltat_figure import ScenarioResult, deltat_scenarios
 from repro.bench.perf_tables import (
     PAPER_PERFORMANCE_MS,
     WORD_SIZES,
+    PerfRow,
     generate_performance_table,
 )
 from repro.bench.tables import format_table
@@ -25,7 +30,11 @@ from repro.bench.workloads import StreamResult, run_blocking_signals, run_stream
 
 __all__ = [
     "BREAKDOWN_PAPER_MS",
+    "BreakdownResult",
+    "ComparisonRow",
     "PAPER_PERFORMANCE_MS",
+    "PerfRow",
+    "ScenarioResult",
     "StreamResult",
     "WORD_SIZES",
     "deltat_scenarios",

@@ -38,6 +38,20 @@ class BreakdownResult:
     total_paper_ms: float
     elapsed_call_ms: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for ``BENCH_*.json`` snapshots."""
+        return {
+            "measured_ms": {
+                key: self.measured_ms[key] for key in sorted(self.measured_ms)
+            },
+            "paper_ms": {
+                key: self.paper_ms[key] for key in sorted(self.paper_ms)
+            },
+            "total_measured_ms": self.total_measured_ms,
+            "total_paper_ms": self.total_paper_ms,
+            "elapsed_call_ms": self.elapsed_call_ms,
+        }
+
 
 class _OneSignal(ClientProgram):
     def __init__(self):

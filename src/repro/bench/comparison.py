@@ -28,6 +28,14 @@ class ComparisonRow:
     measured_ms: float
     paper_ms: float
 
+    def to_dict(self) -> dict:
+        """Machine-readable form for ``BENCH_*.json`` snapshots."""
+        return {
+            "scenario": self.scenario,
+            "measured_ms": self.measured_ms,
+            "paper_ms": self.paper_ms,
+        }
+
 
 PAPER_COMPARISON_MS = {
     "soda_b_signal": 8.5,

@@ -35,6 +35,16 @@ class ScenarioResult:
     events: List[Tuple[float, str]] = field(default_factory=list)
     ok: bool = False
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for ``BENCH_*.json`` snapshots."""
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "events": [
+                {"at_ms": at_ms, "event": text} for at_ms, text in self.events
+            ],
+        }
+
 
 class _Echo(ClientProgram):
     def initialization(self, api, parent_mid):

@@ -45,6 +45,15 @@ class PerfRow:
     paper_ms: float
     packets: float
 
+    def to_dict(self) -> Dict[str, float]:
+        """Machine-readable form for ``BENCH_*.json`` snapshots."""
+        return {
+            "words": self.words,
+            "measured_ms": self.measured_ms,
+            "paper_ms": self.paper_ms,
+            "packets": self.packets,
+        }
+
 
 def _buffer_words(verb: str, words: int) -> Tuple[int, int]:
     if verb == "put":

@@ -53,6 +53,8 @@ class OutboundMessage:
     void_check: Optional[Callable[[], bool]] = None
     attempts: int = 0
     busy_attempts: int = 0
+    #: Simulated time of the most recent transmission (RTT accounting).
+    last_tx_us: float = 0.0
     #: Set once the first transmission (with data, if any) happened.
     transmitted_with_data: bool = field(default=False)
     #: Head-of-line priority: may displace a busy-parked REQUEST (the
@@ -160,6 +162,7 @@ class Connection:
         if include_data and packet.data is not None:
             message.transmitted_with_data = True
         message.attempts += 1
+        message.last_tx_us = self.sim.now
         # Piggyback any owed acknowledgement.
         ack = self.take_piggyback_ack()
         if ack is not None:
@@ -238,6 +241,18 @@ class Connection:
         self._cancel_timer("_retransmit_timer")
         self._cancel_timer("_busy_timer")
         self.send_seq = 1 - self.send_seq
+        # The obs layer's per-message RTT sample: time from the last
+        # (re)transmission to the acknowledgement that released the
+        # channel, including kernel-CPU queueing at both ends.
+        self.sim.trace.record(
+            self.sim.now,
+            "conn.acked",
+            mid=self.kernel.mid,
+            peer=self.peer_mid,
+            kind=message.kind,
+            attempts=message.attempts,
+            rtt_us=self.sim.now - message.last_tx_us,
+        )
         if message.on_acked is not None:
             message.on_acked()
         self._pump()

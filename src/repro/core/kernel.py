@@ -755,6 +755,16 @@ class SodaKernel:
         if record.pending_cancel is not None:
             record.pending_cancel.resolve(CancelStatus.FAIL)
             record.pending_cancel = None
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.complete",
+            mid=self.mid,
+            tid=record.tid,
+            status=status.value,
+            arg=0,
+            taken_put=0,
+            taken_get=0,
+        )
         event = HandlerEvent(
             reason=HandlerReason.REQUEST_COMPLETE,
             asker=RequesterSignature(self.mid, record.tid),
@@ -822,6 +832,7 @@ class SodaKernel:
             "kernel.complete",
             mid=self.mid,
             tid=record.tid,
+            status=RequestStatus.COMPLETED.value,
             arg=packet.arg,
             taken_put=packet.taken_put,
             taken_get=taken_get,
@@ -922,6 +933,8 @@ class SodaKernel:
             "kernel.accept",
             mid=self.mid,
             sig=str(req_sig),
+            src=req_sig.mid,
+            tid=req_sig.tid,
             wait=wait_for,
             taken_put=taken_put,
             taken_get=taken_get,
@@ -986,6 +999,9 @@ class SodaKernel:
             return future
         if record.state is RequestState.QUEUED:
             record.state = RequestState.CANCELLED
+            self.sim.trace.record(
+                self.sim.now, "kernel.cancelled", mid=self.mid, tid=record.tid
+            )
             self.sim.schedule(small, future.resolve, CancelStatus.SUCCESS)
             return future
         record.pending_cancel = future
@@ -1039,6 +1055,9 @@ class SodaKernel:
         if packet.arg == 1 and record.open:
             record.state = RequestState.CANCELLED
             self._stop_probing(record)
+            self.sim.trace.record(
+                self.sim.now, "kernel.cancelled", mid=self.mid, tid=record.tid
+            )
             future.resolve(CancelStatus.SUCCESS)
         else:
             future.resolve(CancelStatus.FAIL)
@@ -1165,6 +1184,16 @@ class SodaKernel:
         record.completion_status = RequestStatus.COMPLETED
         data = mids_to_bytes(sorted(state.mids))
         taken = record.get_buffer.write(data)
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.complete",
+            mid=self.mid,
+            tid=record.tid,
+            status=RequestStatus.COMPLETED.value,
+            arg=0,
+            taken_put=0,
+            taken_get=taken,
+        )
         event = HandlerEvent(
             reason=HandlerReason.REQUEST_COMPLETE,
             asker=RequesterSignature(self.mid, record.tid),

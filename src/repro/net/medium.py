@@ -45,6 +45,7 @@ class BroadcastBus:
         self.frames_sent = 0
         self.bytes_sent = 0
         self.busy_time_us = 0.0
+        self.peak_queue_depth = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -72,8 +73,21 @@ class BroadcastBus:
     def send(self, frame: Frame) -> None:
         """Queue a frame for transmission (returns immediately)."""
         self._pending.append(frame)
+        if len(self._pending) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self._pending)
         if not self._busy:
             self._transmit_next()
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting for the bus right now."""
+        return len(self._pending)
+
+    def utilization(self, now_us: float) -> float:
+        """Fraction of elapsed time the bus spent serializing frames."""
+        if now_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_us / now_us)
 
     def _transmit_next(self) -> None:
         if not self._pending:

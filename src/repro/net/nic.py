@@ -28,12 +28,15 @@ class NetworkInterface:
         self.enabled = True
         self.frames_received = 0
         self.frames_sent = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
         bus.attach(self)
 
     def send(self, dst: int, payload: Any, payload_bytes: int = 0) -> Frame:
         """Queue a frame onto the bus; returns the frame for tracing."""
         frame = Frame(self.mid, dst, payload, payload_bytes)
         self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes
         self.bus.send(frame)
         return frame
 
@@ -42,4 +45,5 @@ class NetworkInterface:
         if not self.enabled or self.on_frame is None:
             return
         self.frames_received += 1
+        self.bytes_received += frame.wire_bytes
         self.on_frame(frame)

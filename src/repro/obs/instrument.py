@@ -1,0 +1,200 @@
+"""Wiring the metrics registry into a running (or finished) network.
+
+:class:`MetricsHub` has two modes, producing identical results for the
+same run:
+
+* **live** — :meth:`install` registers a tracer sink, so every record
+  feeds the registry and span builder as it is emitted (works even with
+  ``keep_records=False``);
+* **post-hoc** — :meth:`ingest` replays a finished network's retained
+  trace records through the same code path.
+
+Either way, :meth:`report` pull-collects the always-on layer counters
+(bus busy time and queue depth, NIC frame/byte counters, Delta-t record
+expiries, the cost ledger) and returns an :class:`ObsReport`.
+
+Nothing in the simulation references this module: with no hub attached,
+the only per-packet work is the counters the layers already kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanBuilder, TransactionSpan, span_statistics
+from repro.sim.tracing import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import Network
+
+
+@dataclass
+class ObsReport:
+    """The outcome of observing one run."""
+
+    snapshot: Dict[str, Dict[str, Any]]
+    spans: List[TransactionSpan] = field(default_factory=list)
+    ledger: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completed_spans(self) -> List[TransactionSpan]:
+        return [span for span in self.spans if span.completed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic, JSON-ready view of the whole report."""
+        return {
+            "metrics": self.snapshot,
+            "cost_ledger_us": {
+                key: self.ledger[key] for key in sorted(self.ledger)
+            },
+            "spans": {
+                "total": len(self.spans),
+                "completed": len(self.completed_spans),
+                "by_status": self._count_by("status"),
+                "by_verb": self._count_by("verb"),
+            },
+        }
+
+    def _count_by(self, attr: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            key = getattr(span, attr)
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class MetricsHub:
+    """Collects registry metrics and spans for one network run."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.spans = SpanBuilder()
+        self._net: Optional["Network"] = None
+        self._handler_start: Dict[int, float] = {}
+
+    # -- attachment --------------------------------------------------------
+
+    def install(self, net: "Network") -> "MetricsHub":
+        """Observe ``net`` live via a tracer sink (before running it)."""
+        if self._net is not None:
+            raise RuntimeError("hub already attached to a network")
+        self._net = net
+        net.sim.trace.add_sink(self.on_record)
+        return self
+
+    def uninstall(self) -> None:
+        if self._net is not None:
+            self._net.sim.trace.remove_sink(self.on_record)
+            self._net = None
+
+    def ingest(self, net: "Network") -> ObsReport:
+        """Post-hoc: replay a finished run's retained trace records."""
+        if self._net is None:
+            self._net = net
+        for record in net.sim.trace.records:
+            self.on_record(record)
+        return self.report()
+
+    # -- the tracer sink ---------------------------------------------------
+
+    def on_record(self, record: TraceRecord) -> None:
+        self.spans.feed(record)
+        category = record.category
+        reg = self.registry
+        if category == "kernel.tx":
+            reg.counter("kernel.tx_packets").inc()
+            reg.counter(f"node.{record['mid']}.tx_packets").inc()
+        elif category == "kernel.rx":
+            reg.counter("kernel.rx_packets").inc()
+            reg.counter(f"node.{record['mid']}.rx_packets").inc()
+        elif category == "conn.acked":
+            reg.histogram("transport.rtt_us").observe(record["rtt_us"])
+            reg.histogram(
+                f"transport.rtt_us.{record['kind']}"
+            ).observe(record["rtt_us"])
+        elif category == "conn.retransmit":
+            reg.counter("transport.retransmits").inc()
+            reg.counter(
+                f"transport.retransmits.{record['kind']}"
+            ).inc()
+        elif category == "conn.busy_retry":
+            reg.counter("transport.busy_retries").inc()
+        elif category == "conn.peer_dead":
+            reg.counter("transport.peers_declared_dead").inc()
+        elif category == "kernel.busy_nack":
+            reg.counter("kernel.busy_nacks").inc()
+        elif category == "kernel.hold":
+            reg.counter("kernel.held_requests").inc()
+        elif category == "kernel.request":
+            reg.counter("kernel.requests").inc()
+        elif category == "kernel.complete":
+            reg.counter("kernel.completions").inc()
+        elif category == "kernel.cancelled":
+            reg.counter("kernel.cancels").inc()
+        elif category == "kernel.interrupt":
+            reg.counter("kernel.interrupts").inc()
+            reg.counter(
+                f"kernel.interrupts.{record['reason']}"
+            ).inc()
+            self._handler_start[record["mid"]] = record.time
+        elif category == "kernel.endhandler":
+            start = self._handler_start.pop(record["mid"], None)
+            if start is not None:
+                reg.histogram("kernel.handler_occupancy_us").observe(
+                    record.time - start
+                )
+        elif category == "net.drop":
+            reg.counter("bus.frames_dropped").inc()
+
+    # -- pull collection ---------------------------------------------------
+
+    def collect(self) -> None:
+        """Sample the always-on layer counters into gauges."""
+        net = self._net
+        if net is None:
+            raise RuntimeError("hub is not attached to a network")
+        reg = self.registry
+        now = net.sim.now
+        bus = net.bus
+        reg.gauge("bus.utilization").set(bus.utilization(now))
+        reg.gauge("bus.busy_time_us").set(bus.busy_time_us)
+        reg.gauge("bus.frames_sent").set(bus.frames_sent)
+        reg.gauge("bus.bytes_sent").set(bus.bytes_sent)
+        reg.gauge("bus.peak_queue_depth").set(bus.peak_queue_depth)
+        expiries = 0
+        synchronizations = 0
+        for mid in sorted(net.nodes):
+            node = net.nodes[mid]
+            nic = node.nic
+            reg.gauge(f"node.{mid}.frames_sent").set(nic.frames_sent)
+            reg.gauge(f"node.{mid}.frames_received").set(nic.frames_received)
+            reg.gauge(f"node.{mid}.bytes_sent").set(nic.bytes_sent)
+            reg.gauge(f"node.{mid}.bytes_received").set(nic.bytes_received)
+            for conn in node.kernel.connections.values():
+                expiries += conn.recv_record.expiries
+                synchronizations += conn.recv_record.synchronizations
+        reg.gauge("transport.deltat_expiries").set(expiries)
+        reg.gauge("transport.deltat_synchronizations").set(synchronizations)
+        for category, charge_us in sorted(net.ledger.snapshot().items()):
+            reg.gauge(f"cost.{category}_us").set(charge_us)
+        reg.gauge("cost.total_us").set(net.ledger.total())
+
+    def report(self) -> ObsReport:
+        """Collect gauges, fold spans into latency histograms, snapshot.
+
+        Idempotent: span latency histograms are rebuilt from the span
+        set each call, so calling ``report`` twice never double-counts.
+        """
+        self.collect()
+        spans = self.spans.spans()
+        for hist in span_statistics(spans).values():
+            self.registry.install(hist)
+        completed = sum(1 for span in spans if span.completed)
+        self.registry.gauge("txn.spans").set(len(spans))
+        self.registry.gauge("txn.completed").set(completed)
+        ledger = self._net.ledger.snapshot() if self._net else {}
+        return ObsReport(
+            snapshot=self.registry.snapshot(), spans=spans, ledger=ledger
+        )

@@ -18,11 +18,18 @@ class Simulator:
     scheduling, randomness, and tracing.
     """
 
-    def __init__(self, seed: int = 0, keep_trace: bool = True) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        keep_trace: bool = True,
+        max_trace_records: Optional[int] = None,
+    ) -> None:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.rng = RngStreams(seed)
-        self.trace = Tracer(keep_records=keep_trace)
+        self.trace = Tracer(
+            keep_records=keep_trace, max_records=max_trace_records
+        )
         self._events_processed = 0
 
     # -- scheduling ------------------------------------------------------

@@ -15,9 +15,9 @@ Two observability mechanisms coexist:
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, MutableSequence, Optional
 
 
 @dataclass
@@ -39,18 +39,63 @@ class Tracer:
     """Structured event log with counters.
 
     Tracing is cheap but not free; large benchmark runs can disable record
-    retention (``keep_records=False``) and still use counters.
+    retention (``keep_records=False``) and still use counters.  Soak runs
+    that want *recent* records without unbounded growth set
+    ``max_records``: retention becomes a ring buffer and
+    :attr:`dropped_records` counts what fell off the front (a trace with
+    drops is :attr:`truncated` and cannot be replayed by the invariant
+    checker).
+
+    Sinks (:meth:`add_sink`) stream every record to a live consumer —
+    the observability hub uses one — independent of retention.  With no
+    sinks installed the per-record cost is a single falsy check.
     """
 
-    def __init__(self, keep_records: bool = True) -> None:
+    def __init__(
+        self,
+        keep_records: bool = True,
+        max_records: Optional[int] = None,
+    ) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records}")
         self.keep_records = keep_records
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord] = (
+            deque(maxlen=max_records) if max_records is not None else []
+        )
         self.counters: Counter = Counter()
+        self.dropped_records = 0
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def truncated(self) -> bool:
+        """True if ring-buffer mode has dropped any records."""
+        return self.dropped_records > 0
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Stream every future record to ``sink`` (live metrics)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        self._sinks.remove(sink)
 
     def record(self, time: float, category: str, **fields: Any) -> None:
         self.counters[category] += 1
         if self.keep_records:
-            self.records.append(TraceRecord(time, category, fields))
+            entry = TraceRecord(time, category, fields)
+            if (
+                self.max_records is not None
+                and len(self.records) >= self.max_records
+            ):
+                self.dropped_records += 1
+            self.records.append(entry)
+            if self._sinks:
+                for sink in self._sinks:
+                    sink(entry)
+        elif self._sinks:
+            entry = TraceRecord(time, category, fields)
+            for sink in self._sinks:
+                sink(entry)
 
     def count(self, category: str) -> int:
         return self.counters[category]
@@ -84,6 +129,7 @@ class Tracer:
     def reset(self) -> None:
         self.records.clear()
         self.counters.clear()
+        self.dropped_records = 0
 
 
 class CostLedger:

@@ -17,6 +17,7 @@ and completion handlers per TID, then routes every event through
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Dict, Generator, Optional
 
 from repro.core.client import HandlerEvent
@@ -29,6 +30,11 @@ class HandlerDispatcher:
     Handlers are generator functions ``fn(api, event)``; entry handlers
     persist, completion handlers fire once.  ``dispatch`` returns True
     if a route consumed the event.
+
+    :attr:`stats` counts how each event was routed (``entry_matched``,
+    ``entry_otherwise``, ``completion_matched``, ``completion_default``,
+    ``unrouted``) — the sodal-layer numbers the observability docs
+    describe (docs/OBSERVABILITY.md).
     """
 
     def __init__(self) -> None:
@@ -36,6 +42,7 @@ class HandlerDispatcher:
         self._otherwise: Optional[Callable] = None
         self._completions: Dict[int, Callable] = {}
         self._completion_default: Optional[Callable] = None
+        self.stats: Counter = Counter()
 
     # -- registration -------------------------------------------------------
 
@@ -63,19 +70,30 @@ class HandlerDispatcher:
     def dispatch(self, api, event: HandlerEvent) -> Generator:
         """Route one handler event; returns True if handled."""
         if event.is_arrival:
-            fn = self._entries.get(event.pattern, self._otherwise)
-            if fn is None:
+            fn = self._entries.get(event.pattern)
+            if fn is not None:
+                self.stats["entry_matched"] += 1
+            elif self._otherwise is not None:
+                fn = self._otherwise
+                self.stats["entry_otherwise"] += 1
+            else:
+                self.stats["unrouted"] += 1
                 return False
             yield from _as_gen(fn(api, event))
             return True
         if event.is_completion and event.asker is not None:
             fn = self._completions.pop(event.asker.tid, None)
-            if fn is None:
+            if fn is not None:
+                self.stats["completion_matched"] += 1
+            elif self._completion_default is not None:
                 fn = self._completion_default
-            if fn is None:
+                self.stats["completion_default"] += 1
+            else:
+                self.stats["unrouted"] += 1
                 return False
             yield from _as_gen(fn(api, event))
             return True
+        self.stats["unrouted"] += 1
         return False
 
     @property

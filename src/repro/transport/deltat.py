@@ -62,6 +62,11 @@ class DeltaTRecord:
         self.state = DeltaTState.TAKE_ANY
         self.expected_seq: Optional[int] = None
         self.last_heard_us: Optional[float] = None
+        #: Lifetime instrumentation counters (read by repro.obs): how
+        #: often this record expired back to take-any, and how often it
+        #: (re)synchronized.  Cumulative across crashes/destroys.
+        self.expiries = 0
+        self.synchronizations = 0
 
     def _maybe_expire(self, now_us: float) -> None:
         if (
@@ -71,6 +76,7 @@ class DeltaTRecord:
         ):
             self.state = DeltaTState.TAKE_ANY
             self.expected_seq = None
+            self.expiries += 1
 
     def heard(self, now_us: float) -> None:
         """Note any traffic from the peer (refreshes the take-any timer)."""
@@ -102,6 +108,7 @@ class DeltaTRecord:
         if self.state is DeltaTState.TAKE_ANY:
             self.state = DeltaTState.SYNCHRONIZED
             self.expected_seq = 1 - seq
+            self.synchronizations += 1
             return "new"
         if seq == self.expected_seq:
             self.expected_seq = 1 - seq

@@ -56,3 +56,16 @@ class RetransmitPolicy:
 
     def exhausted(self, attempts: int) -> bool:
         return attempts >= self.max_ack_attempts
+
+    def as_dict(self) -> dict:
+        """Policy knobs for benchmark-snapshot metadata (repro.obs)."""
+        return {
+            "ack_timeout_us": self.ack_timeout_us,
+            "ack_jitter_us": self.ack_jitter_us,
+            "ack_timeout_per_byte_us": self.ack_timeout_per_byte_us,
+            "max_ack_attempts": self.max_ack_attempts,
+            "busy_retry_base_us": self.busy_retry_base_us,
+            "busy_retry_growth": self.busy_retry_growth,
+            "busy_retry_max_us": self.busy_retry_max_us,
+            "busy_jitter_us": self.busy_jitter_us,
+        }

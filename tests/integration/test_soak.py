@@ -26,11 +26,13 @@ MEALS = 3
 
 @pytest.mark.slow
 def test_whole_system_soak():
+    # Ring-buffer tracing: category counters stay exact, but only the
+    # most recent records are retained, keeping the soak's memory flat.
     net = Network(
         seed=201,
         config=KernelConfig(probe_interval_us=100_000.0),
         faults=FaultPlan(loss_probability=0.03),
-        keep_trace=False,
+        max_trace_records=10_000,
     )
     philosophers = []
     for i in range(N_PHIL):

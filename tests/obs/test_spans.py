@@ -1,0 +1,138 @@
+"""Span reconstruction from real kernel traces: PUT, GET, EXCHANGE,
+and a cancelled transaction."""
+
+from repro.core import Buffer, ClientProgram, Network
+from repro.obs.spans import build_spans, classify_verb, span_statistics
+from tests.conftest import ECHO_PATTERN, EchoServer, make_pair
+
+
+def _transaction_spans(net):
+    """Non-DISCOVER spans, in request order."""
+    return [
+        span
+        for span in build_spans(net.sim.trace.records)
+        if not span.is_discover
+    ]
+
+
+def _run_single(body):
+    net = Network(seed=33)
+    make_pair(net, EchoServer(), body)
+    net.run(until=5_000_000.0)
+    return net
+
+
+def test_classify_verb():
+    assert classify_verb(0, 0) == "signal"
+    assert classify_verb(8, 0) == "put"
+    assert classify_verb(0, 8) == "get"
+    assert classify_verb(8, 8) == "exchange"
+
+
+def test_put_span():
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        yield from api.b_put(server, put=b"payload")
+
+    net = _run_single(body)
+    spans = _transaction_spans(net)
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.verb == "put"
+    assert span.put_bytes == 7 and span.get_bytes == 0
+    assert span.requester_mid == 1 and span.server_mid == 0
+    assert span.status == "completed" and span.completed
+    # The timeline is ordered: issue -> delivery -> accept -> completion.
+    assert span.request_us < span.delivered_us
+    assert span.delivered_us <= span.accept_us
+    assert span.accept_us < span.complete_us
+    assert span.latency_us > 0
+    assert span.delivery_us > 0
+    assert span.service_us >= 0
+
+
+def test_get_span():
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        reply = Buffer(16)
+        yield from api.b_get(server, get=reply)
+        return reply.data
+
+    net = _run_single(body)
+    (span,) = _transaction_spans(net)
+    assert span.verb == "get"
+    assert span.put_bytes == 0 and span.get_bytes == 16
+    assert span.completed
+    assert span.latency_us > 0
+
+
+def test_exchange_span():
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        reply = Buffer(16)
+        yield from api.b_exchange(server, put=b"ping", get=reply)
+
+    net = _run_single(body)
+    (span,) = _transaction_spans(net)
+    assert span.verb == "exchange"
+    assert span.put_bytes == 4 and span.get_bytes == 16
+    assert span.completed
+    stats = span_statistics([span])
+    assert set(stats) == {"exchange"}
+    assert stats["exchange"].count == 1
+    assert stats["exchange"].quantile(0.5) == span.latency_us / 1000.0
+
+
+def test_cancelled_span():
+    class NeverAccepts(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(ECHO_PATTERN)
+
+        def handler(self, api, event):
+            return
+            yield  # pragma: no cover
+
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        tid = yield from api.signal(server)
+        yield api.compute(150_000.0)
+        return (yield from api.cancel(tid))
+
+    net = Network(seed=34)
+    make_pair(net, NeverAccepts(), body)
+    net.run(until=5_000_000.0)
+    spans = _transaction_spans(net)
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.status == "cancelled"
+    assert not span.completed
+    assert span.delivered_us is not None  # it reached the server
+    assert span.accept_us is None  # ... but was never ACCEPTed
+    # Cancelled spans contribute nothing to latency statistics.
+    assert span_statistics(spans) == {}
+
+
+def test_discover_spans_are_flagged():
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        yield from api.b_signal(server)
+
+    net = _run_single(body)
+    spans = build_spans(net.sim.trace.records)
+    discovers = [span for span in spans if span.is_discover]
+    assert discovers, "DISCOVER must open a span with is_discover=True"
+    assert all(span.server_mid < 0 for span in discovers)
+
+
+def test_spans_sorted_by_request_time():
+    def body(api, self):
+        server = yield from api.discover(ECHO_PATTERN)
+        for i in range(3):
+            yield from api.b_put(server, put=b"x" * (i + 1))
+
+    net = _run_single(body)
+    spans = _transaction_spans(net)
+    assert len(spans) == 3
+    times = [span.request_us for span in spans]
+    assert times == sorted(times)
+    assert [span.put_bytes for span in spans] == [1, 2, 3]

@@ -80,6 +80,68 @@ def test_tracer_reset():
     assert tracer.records == []
 
 
+def test_ring_buffer_keeps_recent_records():
+    tracer = Tracer(max_records=3)
+    for i in range(5):
+        tracer.record(float(i), "x", n=i)
+    assert tracer.count("x") == 5  # counters stay exact
+    assert [rec["n"] for rec in tracer.records] == [2, 3, 4]
+    assert tracer.dropped_records == 2
+    assert tracer.truncated
+    # select / iter_category / last see only the retained window.
+    assert [rec["n"] for rec in tracer.select("x")] == [2, 3, 4]
+    assert [rec["n"] for rec in tracer.iter_category("x")] == [2, 3, 4]
+    assert tracer.last("x")["n"] == 4
+
+
+def test_ring_buffer_not_truncated_until_full():
+    tracer = Tracer(max_records=10)
+    for i in range(10):
+        tracer.record(float(i), "x")
+    assert not tracer.truncated
+    tracer.record(10.0, "x")
+    assert tracer.truncated
+
+
+def test_ring_buffer_reset_clears_drops():
+    tracer = Tracer(max_records=1)
+    tracer.record(1.0, "x")
+    tracer.record(2.0, "x")
+    assert tracer.truncated
+    tracer.reset()
+    assert not tracer.truncated
+    assert tracer.dropped_records == 0
+    assert list(tracer.records) == []
+
+
+def test_ring_buffer_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+    with pytest.raises(ValueError):
+        Tracer(max_records=-5)
+
+
+def test_sink_sees_all_records_despite_ring():
+    seen = []
+    tracer = Tracer(max_records=2)
+    tracer.add_sink(seen.append)
+    for i in range(4):
+        tracer.record(float(i), "x", n=i)
+    assert [rec["n"] for rec in seen] == [0, 1, 2, 3]
+    tracer.remove_sink(seen.append)
+    tracer.record(4.0, "x", n=4)
+    assert len(seen) == 4
+
+
+def test_sink_works_without_record_retention():
+    seen = []
+    tracer = Tracer(keep_records=False)
+    tracer.add_sink(seen.append)
+    tracer.record(1.0, "x", n=1)
+    assert tracer.records == []
+    assert len(seen) == 1 and seen[0]["n"] == 1
+
+
 def test_record_get_default():
     tracer = Tracer()
     tracer.record(1.0, "x", a=1)

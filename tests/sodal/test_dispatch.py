@@ -60,6 +60,9 @@ def test_entry_dispatch_by_pattern(network):
     network.run(until=RUN_US)
     assert outcome["args"] == [2, 1, 3]
     assert server.log == ["pong", "ping", "other"]
+    assert server.cases.stats["entry_matched"] == 2
+    assert server.cases.stats["entry_otherwise"] == 1
+    assert server.cases.stats["unrouted"] == 0
 
 
 def test_completion_dispatch_fires_once(network):
@@ -92,6 +95,9 @@ def test_completion_dispatch_fires_once(network):
     kinds = {k for k, _ in fired}
     assert kinds == {"specific", "default"}
     assert ("specific", RequestStatus.COMPLETED) in fired
+    client = network.nodes[1].kernel.node.client.program
+    assert client.cases.stats["completion_matched"] == 1
+    assert client.cases.stats["completion_default"] == 1
 
 
 def test_unrouted_events_return_false(network):
