@@ -8,6 +8,8 @@
     python -m repro metrics [workload]  # observability report (repro.obs)
     python -m repro lint [paths...]   # sodalint protocol linter
     python -m repro check-trace [workload...]  # trace invariant checker
+    python -m repro chaos [--matrix] [--seed N] [--workload W] [--schedule S]
+                                      # fault-schedule sweep (repro.chaos)
 
 The benchmark commands (tables, breakdown, comparison, deltat, metrics)
 accept ``--json PATH`` to also write a machine-readable ``BENCH_*.json``
@@ -207,6 +209,88 @@ def _metrics(
     return 0
 
 
+def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
+    from repro.chaos import (
+        format_repro,
+        make_schedule,
+        matrix_payload,
+        run_cell,
+        run_matrix,
+        shrink_scenario,
+    )
+    from repro.analysis.workloads import get_spec
+    from repro.obs.export import write_snapshot
+
+    matrix = "--matrix" in argv
+    if matrix:
+        argv.remove("--matrix")
+    seed_text = _take_flag_value(argv, "--seed")
+    seed = int(seed_text) if seed_text else 1
+    workload = _take_flag_value(argv, "--workload")
+    schedule = _take_flag_value(argv, "--schedule")
+
+    workloads = [workload] if workload else None
+    schedules = [schedule] if schedule else None
+    if not matrix and not workload and not schedule:
+        # Quick mode: one representative workload across all schedules.
+        workloads = ["echo"]
+
+    def progress(result) -> None:
+        status = "ok" if result.ok else "FAIL"
+        injected = sum(result.faults.values())
+        print(
+            f"  {status:4s} {result.workload}/{result.schedule}"
+            f"/seed={result.seed}  "
+            f"spans={sum(result.spans_by_status.values())} "
+            f"faults={injected}"
+        )
+
+    results = run_matrix(
+        workloads=workloads,
+        schedules=schedules,
+        seeds=(seed,),
+        progress=progress,
+    )
+    failed = [r for r in results if not r.ok]
+    print(
+        f"chaos: {len(results) - len(failed)}/{len(results)} cell(s) clean"
+    )
+    for result in failed:
+        for line in result.invariant_violations + result.liveness_problems:
+            print(f"  {result.workload}/{result.schedule}: {line}")
+
+    if failed:
+        # Shrink the first failure to a minimal reproducer.
+        first = failed[0]
+        spec = get_spec(first.workload)
+        scenario = make_schedule(first.schedule, spec)
+
+        def still_fails(trial) -> bool:
+            return not run_cell(
+                first.workload, first.schedule, first.seed, scenario=trial
+            ).ok
+
+        minimal = shrink_scenario(scenario, still_fails)
+        rerun = run_cell(
+            first.workload, first.schedule, first.seed, scenario=minimal
+        )
+        print()
+        print("minimal reproducer (paste into tests/test_chaos.py):")
+        print()
+        print(
+            format_repro(
+                first.workload,
+                first.seed,
+                minimal,
+                rerun.invariant_violations + rerun.liveness_problems,
+            )
+        )
+    if json_path:
+        write_snapshot(json_path, matrix_payload(results, seed))
+        print(f"wrote {json_path}")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     json_path = _take_flag_value(argv, "--json")
@@ -224,6 +308,8 @@ def main(argv=None) -> int:
         _deltat(json_path=json_path)
     elif command == "metrics":
         return _metrics(argv[1:], json_path=json_path, jsonl_path=jsonl_path)
+    elif command == "chaos":
+        return _chaos(argv[1:], json_path=json_path)
     elif command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -22,10 +22,18 @@ from repro.analysis.invariants import (
     InvariantChecker,
     InvariantViolation,
     check_network,
+    check_network_degraded,
 )
 from repro.analysis.linter import LintConfig, Linter, lint_paths
 from repro.analysis.rules import LintRule, all_rules, get_rule, register_rule
-from repro.analysis.workloads import WORKLOADS, run_workload
+from repro.analysis.workloads import (
+    WORKLOADS,
+    BuiltWorkload,
+    WorkloadRole,
+    WorkloadSpec,
+    build_workload,
+    run_workload,
+)
 
 __all__ = [
     "Diagnostic",
@@ -40,6 +48,11 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "check_network",
+    "check_network_degraded",
     "WORKLOADS",
+    "BuiltWorkload",
+    "WorkloadRole",
+    "WorkloadSpec",
+    "build_workload",
     "run_workload",
 ]

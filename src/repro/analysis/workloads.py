@@ -1,16 +1,24 @@
-"""Named trace workloads for ``python -m repro check-trace``.
+"""Named trace workloads for ``python -m repro check-trace`` and the
+chaos harness.
 
-Each workload builds a small network with tracing on, runs it to
-quiescence, and returns the :class:`~repro.core.node.Network` so the
-invariant checker can replay the trace.  The set is chosen to exercise
-the protocol paths the checker watches: plain exchanges (echo), streamed
-non-blocking requests (stream), BUSY parking and queued accepts
-(queued), and the CANCEL path (cancel).
+Each workload is described by a :class:`WorkloadSpec`: a seed, a run
+horizon, and an ordered list of node *roles* (name, zero-arg program
+factory, boot time).  Separating *build* from *run* lets the chaos
+harness (``repro.chaos``) construct the network, overlay a fault
+schedule, and reboot nodes mid-run from the same role factories —
+while :func:`run_workload` keeps the original one-call behaviour (same
+seeds, same horizons) for the CLI and tests.
+
+The set is chosen to exercise the protocol paths the invariant checker
+watches: plain exchanges (echo), streamed non-blocking requests
+(stream), BUSY parking and queued accepts (queued), and the CANCEL path
+(cancel).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.workloads import (
     BENCH_PATTERN,
@@ -21,8 +29,21 @@ from repro.bench.workloads import (
 )
 from repro.core.buffers import Buffer
 from repro.core.client import ClientProgram
+from repro.core.config import KernelConfig
 from repro.core.node import Network
 from repro.core.patterns import make_well_known_pattern
+from repro.net.errors import FaultPlan
+
+__all__ = [
+    "BENCH_PATTERN",
+    "ECHO_PATTERN",
+    "WORKLOADS",
+    "BuiltWorkload",
+    "WorkloadRole",
+    "WorkloadSpec",
+    "build_workload",
+    "run_workload",
+]
 
 ECHO_PATTERN = make_well_known_pattern(0o347)
 
@@ -89,90 +110,183 @@ class _CancellingClient(ClientProgram):
         yield from api.serve_forever()
 
 
-def _echo() -> Network:
-    net = Network(seed=11)
-    net.add_node(program=_EchoServer(), name="server")
-    net.add_node(program=_EchoClient(), name="client", boot_at_us=100.0)
-    net.run(until=5_000_000.0)
-    return net
+class _Pinger(ClientProgram):
+    def __init__(self, rounds: int = 3) -> None:
+        self.rounds = rounds
+
+    def task(self, api):
+        server = api.server_sig(0, ECHO_PATTERN)
+        for _ in range(self.rounds):
+            yield from api.b_signal(server)
+        yield from api.serve_forever()
 
 
-def _stream() -> Network:
-    net = Network(seed=12)
-    net.add_node(program=AcceptingServer(reply_bytes=8), name="server")
-    net.add_node(
-        program=StreamingRequester(put_bytes=32, get_bytes=8, total=12),
-        name="client",
-        boot_at_us=100.0,
+@dataclass(frozen=True)
+class WorkloadRole:
+    """One node of a workload: MIDs are assigned in listing order."""
+
+    name: str
+    factory: Callable[[], ClientProgram]
+    boot_at_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible workload: seed + horizon + node roles."""
+
+    name: str
+    seed: int
+    until_us: float
+    roles: Tuple[WorkloadRole, ...]
+
+
+@dataclass
+class BuiltWorkload:
+    """A constructed-but-not-yet-run workload network.
+
+    ``net`` has one node per spec role (MID = role index) with the
+    role's program installed.  The chaos harness reboots a dead node's
+    client by calling its role factory again.
+    """
+
+    spec: WorkloadSpec
+    net: Network
+
+    def role_for(self, mid: int) -> WorkloadRole:
+        return self.spec.roles[mid]
+
+    def mid_of(self, role_name: str) -> int:
+        for mid, role in enumerate(self.spec.roles):
+            if role.name == role_name:
+                return mid
+        raise KeyError(
+            f"workload {self.spec.name!r} has no role {role_name!r}"
+        )
+
+    def run(self) -> Network:
+        self.net.run(until=self.spec.until_us)
+        return self.net
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            "echo",
+            seed=11,
+            until_us=5_000_000.0,
+            roles=(
+                WorkloadRole("server", _EchoServer),
+                WorkloadRole("client", _EchoClient, boot_at_us=100.0),
+            ),
+        ),
+        WorkloadSpec(
+            "stream",
+            seed=12,
+            until_us=60_000_000.0,
+            roles=(
+                WorkloadRole(
+                    "server", lambda: AcceptingServer(reply_bytes=8)
+                ),
+                WorkloadRole(
+                    "client",
+                    lambda: StreamingRequester(
+                        put_bytes=32, get_bytes=8, total=12
+                    ),
+                    boot_at_us=100.0,
+                ),
+            ),
+        ),
+        WorkloadSpec(
+            "queued",
+            seed=13,
+            until_us=60_000_000.0,
+            roles=(
+                WorkloadRole("server", lambda: QueuedServer(reply_bytes=0)),
+                WorkloadRole(
+                    "client",
+                    lambda: StreamingRequester(
+                        put_bytes=0, get_bytes=0, total=8
+                    ),
+                    boot_at_us=100.0,
+                ),
+            ),
+        ),
+        WorkloadSpec(
+            "busy",
+            seed=14,
+            until_us=60_000_000.0,
+            roles=(
+                WorkloadRole("server", _SlowServer),
+                WorkloadRole("c1", _Pinger, boot_at_us=100.0),
+                WorkloadRole("c2", _Pinger, boot_at_us=150.0),
+            ),
+        ),
+        WorkloadSpec(
+            "cancel",
+            seed=15,
+            until_us=10_000_000.0,
+            roles=(
+                WorkloadRole("server", _NeverAcceptServer),
+                WorkloadRole("client", _CancellingClient, boot_at_us=100.0),
+            ),
+        ),
+        WorkloadSpec(
+            "signal",
+            seed=16,
+            until_us=60_000_000.0,
+            roles=(
+                # Blocking B_SIGNALs against BENCH_PATTERN — §5.5.
+                WorkloadRole("server", AcceptingServer),
+                WorkloadRole(
+                    "client",
+                    lambda: BlockingSignaler(total=6),
+                    boot_at_us=100.0,
+                ),
+            ),
+        ),
     )
-    net.run(until=60_000_000.0)
-    return net
-
-
-def _queued() -> Network:
-    net = Network(seed=13)
-    net.add_node(program=QueuedServer(reply_bytes=0), name="server")
-    net.add_node(
-        program=StreamingRequester(put_bytes=0, get_bytes=0, total=8),
-        name="client",
-        boot_at_us=100.0,
-    )
-    net.run(until=60_000_000.0)
-    return net
-
-
-def _busy() -> Network:
-    net = Network(seed=14)
-    net.add_node(program=_SlowServer(), name="server")
-
-    class Pinger(ClientProgram):
-        def task(self, api):
-            server = api.server_sig(0, ECHO_PATTERN)
-            for _ in range(3):
-                yield from api.b_signal(server)
-            yield from api.serve_forever()
-
-    net.add_node(program=Pinger(), name="c1", boot_at_us=100.0)
-    net.add_node(program=Pinger(), name="c2", boot_at_us=150.0)
-    net.run(until=60_000_000.0)
-    return net
-
-
-def _cancel() -> Network:
-    net = Network(seed=15)
-    net.add_node(program=_NeverAcceptServer(), name="server")
-    net.add_node(program=_CancellingClient(), name="client", boot_at_us=100.0)
-    net.run(until=10_000_000.0)
-    return net
-
-
-def _signal() -> Network:
-    """Blocking B_SIGNALs against BENCH_PATTERN — the §5.5 scenario."""
-    net = Network(seed=16)
-    net.add_node(program=AcceptingServer(), name="server")
-    net.add_node(
-        program=BlockingSignaler(total=6), name="client", boot_at_us=100.0
-    )
-    net.run(until=60_000_000.0)
-    return net
-
-
-WORKLOADS: Dict[str, Callable[[], Network]] = {
-    "echo": _echo,
-    "stream": _stream,
-    "queued": _queued,
-    "busy": _busy,
-    "cancel": _cancel,
-    "signal": _signal,
 }
 
 
-def run_workload(name: str) -> Network:
+def get_spec(name: str) -> WorkloadSpec:
     try:
-        factory = WORKLOADS[name]
+        return WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; choose from "
             f"{', '.join(sorted(WORKLOADS))}"
         ) from None
-    return factory()
+
+
+def build_workload(
+    name: str,
+    seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    config: Optional[KernelConfig] = None,
+    max_trace_records: Optional[int] = None,
+) -> BuiltWorkload:
+    """Construct a workload network without running it.
+
+    ``seed``/``faults``/``config`` override the spec defaults so the
+    chaos harness can sweep seeds and overlay fault plans.
+    """
+    spec = get_spec(name)
+    net = Network(
+        seed=spec.seed if seed is None else seed,
+        faults=faults,
+        config=config,
+        max_trace_records=max_trace_records,
+    )
+    for role in spec.roles:
+        net.add_node(
+            program=role.factory(),
+            name=role.name,
+            boot_at_us=role.boot_at_us,
+        )
+    return BuiltWorkload(spec=spec, net=net)
+
+
+def run_workload(name: str) -> Network:
+    """Build and run a workload exactly as the CLI always has."""
+    return build_workload(name).run()

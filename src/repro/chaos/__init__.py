@@ -1,0 +1,55 @@
+"""Deterministic chaos testing for the SODA protocol stack.
+
+Composes timed fault schedules (:mod:`repro.chaos.scenario`) over the
+named workloads, sweeps (workload × schedule × seed) cells
+(:mod:`repro.chaos.runner`), judges every run with the invariant
+checker plus liveness assertions (:mod:`repro.chaos.liveness`), and
+shrinks failures to minimal ready-to-paste reproducers
+(:mod:`repro.chaos.shrink`).
+
+CLI: ``python -m repro chaos [--matrix] [--seed N] [--json PATH]``.
+See ``docs/CHAOS.md``.
+"""
+
+from repro.chaos.liveness import check_liveness
+from repro.chaos.runner import (
+    SCHEDULES,
+    CellResult,
+    make_schedule,
+    matrix_cells,
+    matrix_payload,
+    run_cell,
+    run_matrix,
+)
+from repro.chaos.scenario import (
+    GRACE_US,
+    ClientDie,
+    LossWindow,
+    NodeCrash,
+    Partition,
+    Reboot,
+    Scenario,
+    TargetedDrop,
+)
+from repro.chaos.shrink import format_repro, shrink_scenario
+
+__all__ = [
+    "GRACE_US",
+    "SCHEDULES",
+    "CellResult",
+    "ClientDie",
+    "LossWindow",
+    "NodeCrash",
+    "Partition",
+    "Reboot",
+    "Scenario",
+    "TargetedDrop",
+    "check_liveness",
+    "format_repro",
+    "make_schedule",
+    "matrix_cells",
+    "matrix_payload",
+    "run_cell",
+    "run_matrix",
+    "shrink_scenario",
+]

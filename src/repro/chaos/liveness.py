@@ -1,0 +1,102 @@
+"""Post-run liveness assertions for chaos cells.
+
+The invariant checker (PR 1) proves *safety* — nothing illegal happened
+in the trace.  These checks prove *liveness* at the horizon: every
+REQUEST issued more than a grace period ago reached a terminal status
+(complete / cancelled / crashed / unadvertised), no kernel timer or
+record outlived its incarnation, and no connection is wedged with an
+outstanding message and no armed timer.
+
+The grace period exists because a fault landing near the horizon is
+still legitimately in flight: retransmission exhaustion, probe death,
+and DISCOVER windows all resolve within :data:`~repro.chaos.scenario.GRACE_US`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chaos.scenario import GRACE_US
+from repro.core.node import Network
+from repro.obs.spans import TransactionSpan, build_spans
+
+
+def _timer_live(timer) -> bool:
+    return timer is not None and not timer.cancelled
+
+
+def check_liveness(
+    net: Network,
+    spans: Optional[List[TransactionSpan]] = None,
+    grace_us: float = GRACE_US,
+) -> List[str]:
+    """Return human-readable liveness problems (empty = healthy)."""
+    problems: List[str] = []
+    horizon = net.sim.now
+    if spans is None:
+        spans = build_spans(net.sim.trace.records)
+
+    for span in spans:
+        if span.status == "pending" and span.request_us < horizon - grace_us:
+            problems.append(
+                f"span <{span.requester_mid},{span.tid}> ({span.verb}) "
+                f"issued at t={span.request_us / 1000.0:.1f}ms never "
+                f"reached a terminal status"
+            )
+
+    for mid in sorted(net.nodes):
+        kernel = net.nodes[mid].kernel
+        for tid in sorted(kernel.requests):
+            record = kernel.requests[tid]
+            if record.open:
+                continue  # still-open requests are judged via their span
+            for attr in ("probe_timer", "probe_deadline"):
+                if _timer_live(getattr(record, attr)):
+                    problems.append(
+                        f"node {mid}: closed request #{tid} leaked a "
+                        f"live {attr}"
+                    )
+
+        client = kernel.client
+        client_dead = client is None or client.dead
+        if client_dead and kernel.offline_until is None:
+            if kernel._discovers:
+                problems.append(
+                    f"node {mid}: dead client left "
+                    f"{len(kernel._discovers)} open DISCOVER window(s)"
+                )
+            if kernel.pending_accepts:
+                problems.append(
+                    f"node {mid}: dead client left "
+                    f"{len(kernel.pending_accepts)} pending ACCEPT(s)"
+                )
+            if kernel.held is not None:
+                problems.append(
+                    f"node {mid}: dead client still holds a parked "
+                    f"REQUEST"
+                )
+            stuck = [
+                tid
+                for tid in sorted(kernel.requests)
+                if kernel.requests[tid].open
+            ]
+            if stuck:
+                problems.append(
+                    f"node {mid}: dead client left open request(s) "
+                    f"{stuck}"
+                )
+
+        for peer in sorted(kernel.connections):
+            conn = kernel.connections[peer]
+            if conn.outstanding is None:
+                continue
+            if not (
+                _timer_live(conn._retransmit_timer)
+                or _timer_live(conn._busy_timer)
+            ):
+                problems.append(
+                    f"node {mid}: connection to {peer} wedged — "
+                    f"outstanding {conn.outstanding.kind!r} with no "
+                    f"armed timer"
+                )
+    return problems

@@ -1,0 +1,275 @@
+"""The chaos matrix runner: (workload × schedule × seed) sweep.
+
+Each *cell* builds a workload (:func:`repro.analysis.workloads.build_workload`),
+applies a fault :class:`~repro.chaos.scenario.Scenario`, runs to a
+horizon past the last fault plus grace, then judges the run three ways:
+
+* the PR-1 invariant checker (safety; non-strict completion, because a
+  requester that died mid-transaction legitimately leaves the server
+  holding an un-ACCEPTed DELIVERED record forever);
+* the PR-2 span builder + :mod:`repro.chaos.liveness` (every REQUEST
+  outside the grace window reached a terminal status, no leaked
+  timers/windows, no wedged connections);
+* fault-plan accounting (what the schedule actually injected), folded
+  into the report so a cell that injected nothing is visible.
+
+Everything is deterministic: same (workload, schedule, seed) ⇒ the same
+virtual-time run ⇒ an identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.invariants import check_network
+from repro.analysis.workloads import WORKLOADS, WorkloadSpec, build_workload
+from repro.chaos.scenario import (
+    GRACE_US,
+    ClientDie,
+    LossWindow,
+    NodeCrash,
+    Partition,
+    Reboot,
+    Scenario,
+    TargetedDrop,
+)
+from repro.chaos.liveness import check_liveness
+from repro.obs.export import snapshot_payload
+from repro.obs.spans import build_spans
+
+
+def _server_role(spec: WorkloadSpec) -> str:
+    return spec.roles[0].name
+
+
+def _client_role(spec: WorkloadSpec) -> str:
+    return spec.roles[-1].name
+
+
+def _lossy(spec: WorkloadSpec) -> Scenario:
+    # Opens at t=0 so even short workloads (echo finishes in ~100ms)
+    # run their whole transaction stream through the noise.
+    return Scenario(
+        "lossy",
+        (LossWindow(0.0, 2_000_000.0, loss=0.15, corruption=0.05),),
+    )
+
+
+def _partition(spec: WorkloadSpec) -> Scenario:
+    # Starts at 20ms — inside every workload's request stream — and
+    # lasts past retransmission exhaustion, so requesters both declare
+    # the server dead AND see it heal.
+    return Scenario(
+        "partition",
+        (
+            Partition(
+                20_000.0, 860_000.0, isolate=(_server_role(spec),)
+            ),
+        ),
+    )
+
+
+def _strike(spec: WorkloadSpec) -> Scenario:
+    # Surgical frame kills: the very first REQUEST (hits every
+    # workload), the 3rd ACCEPT reply, and the 2nd pure ACK — each
+    # forces a distinct retransmission path.
+    return Scenario(
+        "strike",
+        (
+            TargetedDrop(0.0, ptype="request", skip=0),
+            TargetedDrop(0.0, ptype="accept", skip=2),
+            TargetedDrop(0.0, ptype="ack", skip=1),
+        ),
+    )
+
+
+def _client_flap(spec: WorkloadSpec) -> Scenario:
+    # DIE lands mid-transaction for every workload (even echo, whose
+    # whole stream runs ~0.1-60ms); the reboot restarts the role.
+    role = _client_role(spec)
+    return Scenario(
+        "client_flap",
+        (
+            ClientDie(25_000.0, role=role),
+            Reboot(600_000.0, role=role),
+        ),
+    )
+
+
+def _server_flap(spec: WorkloadSpec) -> Scenario:
+    role = _server_role(spec)
+    return Scenario(
+        "server_flap",
+        (
+            ClientDie(22_000.0, role=role),
+            Reboot(500_000.0, role=role),
+        ),
+    )
+
+
+def _server_crash(spec: WorkloadSpec) -> Scenario:
+    role = _server_role(spec)
+    return Scenario(
+        "server_crash",
+        (
+            NodeCrash(30_000.0, role=role),
+            Reboot(1_200_000.0, role=role),
+        ),
+    )
+
+
+#: Named schedule factories; each adapts to the workload's role names.
+SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
+    "lossy": _lossy,
+    "partition": _partition,
+    "strike": _strike,
+    "client_flap": _client_flap,
+    "server_flap": _server_flap,
+    "server_crash": _server_crash,
+}
+
+
+@dataclass
+class CellResult:
+    """One (workload, schedule, seed) cell's verdict."""
+
+    workload: str
+    schedule: str
+    seed: int
+    horizon_us: float
+    invariant_violations: List[str] = field(default_factory=list)
+    liveness_problems: List[str] = field(default_factory=list)
+    spans_by_status: Dict[str, int] = field(default_factory=dict)
+    faults: Dict[str, int] = field(default_factory=dict)
+    frames_sent: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_violations and not self.liveness_problems
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.workload, self.schedule, self.seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "ok": self.ok,
+            "horizon_us": self.horizon_us,
+            "invariant_violations": list(self.invariant_violations),
+            "liveness_problems": list(self.liveness_problems),
+            "spans_by_status": dict(sorted(self.spans_by_status.items())),
+            "faults": dict(sorted(self.faults.items())),
+            "frames_sent": self.frames_sent,
+        }
+
+
+def make_schedule(name: str, spec: WorkloadSpec) -> Scenario:
+    try:
+        factory = SCHEDULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown schedule {name!r}; choose from "
+            f"{', '.join(sorted(SCHEDULES))}"
+        ) from None
+    return factory(spec)
+
+
+def run_cell(
+    workload: str,
+    schedule: str,
+    seed: int,
+    scenario: Optional[Scenario] = None,
+) -> CellResult:
+    """Run one chaos cell; ``scenario`` overrides the named schedule
+    (used by the shrinker and by checked-in reproducers)."""
+    built = build_workload(workload, seed=seed)
+    spec = built.spec
+    if scenario is None:
+        scenario = make_schedule(schedule, spec)
+    scenario.apply(built)
+    horizon = max(spec.until_us, scenario.last_action_us + 2 * GRACE_US)
+    built.net.run(until=horizon)
+    net = built.net
+
+    violations = check_network(net, strict_completion=False)
+    spans = build_spans(net.sim.trace.records)
+    problems = check_liveness(net, spans=spans)
+
+    by_status: Dict[str, int] = {}
+    for span in spans:
+        by_status[span.status] = by_status.get(span.status, 0) + 1
+    faults = net.faults
+    return CellResult(
+        workload=workload,
+        schedule=schedule,
+        seed=seed,
+        horizon_us=horizon,
+        invariant_violations=[v.format() for v in violations],
+        liveness_problems=problems,
+        spans_by_status=by_status,
+        faults={
+            "frames_lost": faults.frames_lost,
+            "frames_corrupted": faults.frames_corrupted,
+            "frames_scripted_drops": faults.frames_scripted_drops,
+            "deliveries_predicate_dropped": (
+                faults.deliveries_predicate_dropped
+            ),
+        },
+        frames_sent=net.bus.frames_sent,
+    )
+
+
+def matrix_cells(
+    workloads: Optional[Sequence[str]] = None,
+    schedules: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (1,),
+) -> List[Tuple[str, str, int]]:
+    """The deterministic cell enumeration of a sweep."""
+    workload_names = list(workloads) if workloads else sorted(WORKLOADS)
+    schedule_names = list(schedules) if schedules else sorted(SCHEDULES)
+    return [
+        (workload, schedule, seed)
+        for workload in workload_names
+        for schedule in schedule_names
+        for seed in seeds
+    ]
+
+
+def run_matrix(
+    workloads: Optional[Sequence[str]] = None,
+    schedules: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (1,),
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> List[CellResult]:
+    """Sweep the matrix; cells run in deterministic order."""
+    results = []
+    for workload, schedule, seed in matrix_cells(
+        workloads, schedules, seeds
+    ):
+        result = run_cell(workload, schedule, seed)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def matrix_payload(
+    results: Sequence[CellResult], seed: int
+) -> Dict[str, object]:
+    """The ``soda.bench/1`` report for a finished sweep."""
+    failed = [r for r in results if not r.ok]
+    body = {
+        "cells": [r.to_dict() for r in results],
+        "summary": {
+            "total": len(results),
+            "failed": len(failed),
+            "failed_cells": sorted(
+                f"{r.workload}/{r.schedule}/seed={r.seed}" for r in failed
+            ),
+        },
+    }
+    return snapshot_payload("chaos", body, meta={"seed": seed})

@@ -548,9 +548,15 @@ class SodaKernel:
             self.completion_queue.append(event)
 
     def note_boot_started(self) -> None:
-        """The boot handler (Initialization) is about to run."""
+        """The boot handler (Initialization) is about to run.
+
+        Traced so handler entries/exits balance: Initialization runs as
+        a handler and ends with a normal ``kernel.endhandler``, but
+        never passes through :meth:`_invoke_handler`.
+        """
         self.handler_open = True
         self._handler_busy = True
+        self.sim.trace.record(self.sim.now, "kernel.boot_handler", mid=self.mid)
 
     def client_endhandler(self) -> Optional[HandlerEvent]:
         """ENDHANDLER: returns an event to run immediately, if any."""
@@ -941,9 +947,21 @@ class SodaKernel:
         )
         return future
 
+    def _accept_stale(
+        self, pending: PendingAccept, delivered: DeliveredRequest
+    ) -> bool:
+        """True if this ACCEPT's transport callback outlived its
+        incarnation: a DIE/BOOT (or crash) cleared ``self.delivered``
+        while the ACCEPT was still in the connection's outbox, so the
+        late ack/death must not resurrect the dead incarnation's state
+        (it would emit an illegal ``delivered_state`` transition)."""
+        return self.delivered.get(pending.sig) is not delivered
+
     def _accept_noted(
         self, pending: PendingAccept, delivered: DeliveredRequest
     ) -> None:
+        if self._accept_stale(pending, delivered):
+            return
         # Dataless ACCEPT: the exchange was local; unblock the server as
         # soon as the kernel has noted and dispatched the command.
         self._set_delivered_state(delivered, DeliveredState.DONE)
@@ -952,6 +970,8 @@ class SodaKernel:
     def _accept_acked(
         self, pending: PendingAccept, delivered: DeliveredRequest
     ) -> None:
+        if self._accept_stale(pending, delivered):
+            return
         if pending.wait_for == "ack":
             self._set_delivered_state(delivered, DeliveredState.DONE)
             self.pending_accepts.pop(pending.sig, None)
@@ -961,6 +981,8 @@ class SodaKernel:
     def _accept_peer_dead(
         self, pending: PendingAccept, delivered: DeliveredRequest
     ) -> None:
+        if self._accept_stale(pending, delivered):
+            return
         self._set_delivered_state(delivered, DeliveredState.DONE)
         self.pending_accepts.pop(pending.sig, None)
         pending.resolve(AcceptStatus.CRASHED)
@@ -1398,9 +1420,25 @@ class SodaKernel:
         self.completion_queue.clear()
         for record in list(self.requests.values()):
             self._stop_probing(record)
+            if record.open:
+                # Trace the withdrawal so span reconstruction (and the
+                # chaos liveness check) sees a terminal state for every
+                # REQUEST the dead incarnation left in flight.
+                self.sim.trace.record(
+                    self.sim.now,
+                    "kernel.cancelled",
+                    mid=self.mid,
+                    tid=record.tid,
+                )
             record.state = RequestState.CANCELLED
         self.requests.clear()
         self.delivered.clear()
+        # Open DISCOVER windows belong to the dead incarnation: cancel
+        # their timers so late DISCOVER_REPLYs cannot touch dead state.
+        for state in self._discovers.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._discovers.clear()
         for pending in list(self.pending_accepts.values()):
             if not pending.resolved:
                 pending.resolved = True  # futures belong to the dead client

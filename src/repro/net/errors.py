@@ -6,14 +6,52 @@ that a packet retransmitted enough times will eventually arrive
 undamaged" (§3.3).  A :class:`FaultPlan` injects exactly those transient
 faults: probabilistic loss, probabilistic CRC corruption (discarded at the
 receiver, indistinguishable from loss to the protocol), plus deterministic
-hooks used by tests to script specific scenarios (e.g. the Delta-t figure).
+hooks used by tests to script specific scenarios (e.g. the Delta-t figure
+and the chaos harness).
+
+Scripted drops (:meth:`FaultPlan.drop_next` and
+:meth:`FaultPlan.drop_matching`) operate **per frame**: one broadcast
+frame on an N-node bus is one scripted event, consumes one unit of
+budget, and is dropped for every receiver.  Probabilistic loss and
+corruption are intentionally evaluated **per receiver** — on a real
+broadcast bus, noise at one interface does not imply noise at another,
+so a broadcast may be lost for some receivers and arrive at others;
+``frames_lost``/``frames_corrupted`` therefore count *deliveries*
+discarded, not wire frames.  Drop *predicates* also see each
+``(frame, receiver)`` pair because partitions are inherently
+receiver-specific; their counter (``deliveries_predicate_dropped``) is
+likewise per delivery.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.frame import Frame
+
+#: A predicate over one delivery attempt: ``(frame, receiver_mid)``.
+DropPredicate = Callable[[Frame, int], bool]
+
+#: A predicate over one wire frame (receiver-independent).
+FramePredicate = Callable[[Frame], bool]
+
+
+@dataclass
+class _ScriptedStrike:
+    """Drop ``count`` frames matching ``predicate`` after ``skip`` matches.
+
+    Evaluated once per wire frame (see module docstring); used by tests
+    and the chaos harness for strikes like "drop the 3rd ACCEPT reply".
+    """
+
+    predicate: FramePredicate
+    count: int = 1
+    skip: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.count <= 0
 
 
 class FaultPlan:
@@ -30,19 +68,48 @@ class FaultPlan:
             raise ValueError("corruption_probability out of range")
         self.loss_probability = loss_probability
         self.corruption_probability = corruption_probability
-        self._drop_predicates: List[Callable[[Frame, int], bool]] = []
+        self._drop_predicates: List[DropPredicate] = []
         self._drops_remaining = 0
+        self._strikes: List[_ScriptedStrike] = []
+        #: Memoized scripted verdict for the frame currently being
+        #: delivered, so a broadcast consumes scripted budget once no
+        #: matter how many receivers it fans out to.
+        self._scripted_memo: Optional[Tuple[int, bool]] = None
+        #: Deliveries discarded by probabilistic loss / corruption
+        #: (per receiver; see module docstring).
         self.frames_lost = 0
         self.frames_corrupted = 0
+        #: Wire frames discarded by scripted drops (per frame).
         self.frames_scripted_drops = 0
+        #: Deliveries discarded by drop predicates (per receiver).
+        self.deliveries_predicate_dropped = 0
 
     # -- deterministic scripting ------------------------------------------
 
     def drop_next(self, count: int = 1) -> None:
-        """Silently drop the next ``count`` frame deliveries."""
+        """Silently drop the next ``count`` wire frames (all receivers)."""
         self._drops_remaining += count
 
-    def add_drop_predicate(self, predicate: Callable[[Frame, int], bool]) -> None:
+    def drop_matching(
+        self,
+        predicate: FramePredicate,
+        count: int = 1,
+        skip: int = 0,
+    ) -> None:
+        """Drop ``count`` frames matching ``predicate``, after letting
+        ``skip`` matching frames through first.
+
+        The predicate sees the wire frame only (not the receiver); a
+        matching broadcast is dropped for every receiver and consumes
+        one unit of ``count``.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        self._strikes.append(_ScriptedStrike(predicate, count=count, skip=skip))
+
+    def add_drop_predicate(self, predicate: DropPredicate) -> None:
         """Drop any delivery for which ``predicate(frame, receiver_mid)``.
 
         Predicates persist until removed; tests use them to e.g. sever one
@@ -50,15 +117,45 @@ class FaultPlan:
         """
         self._drop_predicates.append(predicate)
 
-    def remove_drop_predicate(
-        self, predicate: Callable[[Frame, int], bool]
-    ) -> None:
+    def remove_drop_predicate(self, predicate: DropPredicate) -> None:
         self._drop_predicates.remove(predicate)
 
     def clear_predicates(self) -> None:
         self._drop_predicates.clear()
 
+    @property
+    def scripted_drops_pending(self) -> bool:
+        """Any armed drop_next budget or unexhausted strike?"""
+        return self._drops_remaining > 0 or any(
+            not strike.exhausted for strike in self._strikes
+        )
+
     # -- the verdict ---------------------------------------------------------
+
+    def _scripted_drop(self, frame: Frame) -> bool:
+        """Per-frame scripted verdict, memoized on ``frame.frame_id``."""
+        if self._scripted_memo is not None and (
+            self._scripted_memo[0] == frame.frame_id
+        ):
+            return self._scripted_memo[1]
+        verdict = False
+        if self._drops_remaining > 0:
+            self._drops_remaining -= 1
+            verdict = True
+        else:
+            for strike in self._strikes:
+                if strike.exhausted or not strike.predicate(frame):
+                    continue
+                if strike.skip > 0:
+                    strike.skip -= 1
+                    continue
+                strike.count -= 1
+                verdict = True
+                break
+        if verdict:
+            self.frames_scripted_drops += 1
+        self._scripted_memo = (frame.frame_id, verdict)
+        return verdict
 
     def delivers(self, frame: Frame, receiver_mid: int, rng) -> bool:
         """True iff this frame should reach this receiver intact.
@@ -66,13 +163,11 @@ class FaultPlan:
         ``rng`` is a ``random.Random`` stream owned by the bus so draws are
         reproducible and ordered.
         """
-        if self._drops_remaining > 0:
-            self._drops_remaining -= 1
-            self.frames_scripted_drops += 1
+        if self._scripted_drop(frame):
             return False
         for predicate in self._drop_predicates:
             if predicate(frame, receiver_mid):
-                self.frames_scripted_drops += 1
+                self.deliveries_predicate_dropped += 1
                 return False
         if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
             self.frames_lost += 1

@@ -114,6 +114,12 @@ class MetricsHub:
             reg.histogram(
                 f"transport.rtt_us.{record['kind']}"
             ).observe(record["rtt_us"])
+            attempts = record.get("attempts")
+            if attempts is not None:
+                reg.histogram("transport.attempts_to_ack").observe(attempts)
+                reg.histogram(
+                    f"transport.attempts_to_ack.{record['kind']}"
+                ).observe(attempts)
         elif category == "conn.retransmit":
             reg.counter("transport.retransmits").inc()
             reg.counter(
@@ -177,6 +183,15 @@ class MetricsHub:
                 synchronizations += conn.recv_record.synchronizations
         reg.gauge("transport.deltat_expiries").set(expiries)
         reg.gauge("transport.deltat_synchronizations").set(synchronizations)
+        faults = net.faults
+        reg.gauge("faults.frames_lost").set(faults.frames_lost)
+        reg.gauge("faults.frames_corrupted").set(faults.frames_corrupted)
+        reg.gauge("faults.frames_scripted_drops").set(
+            faults.frames_scripted_drops
+        )
+        reg.gauge("faults.deliveries_predicate_dropped").set(
+            faults.deliveries_predicate_dropped
+        )
         for category, charge_us in sorted(net.ledger.snapshot().items()):
             reg.gauge(f"cost.{category}_us").set(charge_us)
         reg.gauge("cost.total_us").set(net.ledger.total())

@@ -1,5 +1,6 @@
 """Whole-run determinism and mid-exchange crash behaviour."""
 
+from repro.analysis.invariants import check_network
 from repro.core import (
     AcceptStatus,
     Buffer,
@@ -10,6 +11,7 @@ from repro.core import (
 )
 from repro.core.patterns import make_well_known_pattern
 from repro.net.errors import FaultPlan
+from repro.obs.spans import build_spans
 
 from tests.conftest import ECHO_PATTERN, EchoServer
 
@@ -129,3 +131,120 @@ def test_server_node_crash_fails_inflight_and_future_requests():
         s in (RequestStatus.CRASHED, RequestStatus.UNADVERTISED)
         for s in statuses[1:]
     )
+
+
+# -- DIE/BOOT boundary regressions (found by the chaos sweep) ---------------
+
+
+def test_accept_ack_across_die_boundary_does_not_resurrect_tid():
+    """The server's client DIEs while its data-carrying ACCEPT is still
+    awaiting the transport ack.  When the ack finally lands, the dead
+    incarnation's DeliveredRequest must stay dead — no
+    ``kernel.delivered_state`` record after ``kernel.client_reset``."""
+    net = Network(seed=41)
+    server_node = net.add_node()
+
+    class GetServer(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            if event.is_arrival:
+                yield from api.accept_current_get(put=b"g" * 32)
+
+    server_node.install_program(GetServer())
+
+    class Requester(ClientProgram):
+        def task(self, api):
+            yield from api.get(api.server_sig(0, PATTERN), get=Buffer(32))
+            yield from api.serve_forever()
+
+    requester_node = net.add_node(program=Requester(), boot_at_us=50.0)
+
+    trace = net.sim.trace
+    accepted = lambda: trace.counters.get("kernel.accept", 0) > 0
+    assert net.sim.run_until(accepted, timeout=5_000_000.0)
+    # Sever requester->server so the ACCEPT's transport ack cannot land.
+    sever = lambda frame, rx: (
+        frame.src == requester_node.kernel.mid
+        and rx == server_node.kernel.mid
+    )
+    net.bus.faults.add_drop_predicate(sever)
+    # The client dies while the ACCEPT is still outstanding...
+    net.sim.schedule(5_000.0, server_node.kernel.client_die)
+    # ...and the ack arrives after the DIE, via a later retransmission.
+    net.sim.schedule(130_000.0, net.bus.faults.remove_drop_predicate, sever)
+    net.run(until=10_000_000.0)
+
+    reset_at = next(
+        r.time
+        for r in trace.records
+        if r.category == "kernel.client_reset"
+        and r["mid"] == server_node.kernel.mid
+    )
+    late = [
+        r
+        for r in trace.records
+        if r.category == "kernel.delivered_state"
+        and r["mid"] == server_node.kernel.mid
+        and r.time > reset_at
+    ]
+    assert late == [], f"dead incarnation resurrected: {late}"
+    assert check_network(net, strict_completion=True) == []
+
+
+def test_client_die_cancels_open_discover_windows():
+    """DIE while a DISCOVER window is open: the dead incarnation's
+    query state (and its timer) must be torn down, not left to absorb
+    late DISCOVER_REPLYs."""
+    net = Network(seed=42)
+    node = net.add_node()
+
+    class Discoverer(ClientProgram):
+        def task(self, api):
+            # Nobody advertises this; discover() retries forever.
+            yield from api.discover(make_well_known_pattern(0o777))
+
+    node.install_program(Discoverer())
+    in_window = lambda: bool(node.kernel._discovers)
+    assert net.sim.run_until(in_window, timeout=5_000_000.0)
+    node.kernel.client_die()
+    assert node.kernel._discovers == {}
+    net.run(until=10_000_000.0)
+    assert check_network(net, strict_completion=True) == []
+
+
+def test_client_die_traces_cancelled_for_open_requests():
+    """Every REQUEST the dead incarnation left open must reach a
+    terminal span status via a ``kernel.cancelled`` record."""
+    net = Network(seed=43)
+    server_node = net.add_node()
+
+    class NeverAccept(ClientProgram):
+        def initialization(self, api, parent_mid):
+            yield from api.advertise(PATTERN)
+
+        def handler(self, api, event):
+            return
+            yield  # pragma: no cover
+
+    server_node.install_program(NeverAccept())
+
+    class Requester(ClientProgram):
+        def task(self, api):
+            yield from api.b_signal(api.server_sig(0, PATTERN))
+            yield from api.serve_forever()
+
+    requester_node = net.add_node(program=Requester(), boot_at_us=50.0)
+    trace = net.sim.trace
+    delivered = lambda: trace.counters.get("kernel.delivered_state", 0) > 0
+    assert net.sim.run_until(delivered, timeout=5_000_000.0)
+    requester_node.kernel.client_die()
+    net.run(until=10_000_000.0)
+
+    spans = build_spans(trace.records)
+    mine = [s for s in spans if s.requester_mid == requester_node.kernel.mid]
+    assert mine, "requester issued no spans"
+    assert all(s.status == "cancelled" for s in mine), [
+        (s.tid, s.status) for s in mine
+    ]

@@ -167,6 +167,63 @@ def test_drop_predicate_severs_direction():
     assert len(got_b) == 1
 
 
+def test_drop_next_broadcast_burns_one_budget_unit():
+    # Regression: one broadcast frame fans out to N-1 receivers but is ONE
+    # scripted event — it must consume exactly one drop_next unit and count
+    # once, and the next frame must get through everywhere.
+    sim, bus, nics, inboxes = build_bus(n_nodes=4)
+    bus.faults.drop_next(1)
+    nics[0].send(BROADCAST_MID, "doomed")
+    nics[0].send(BROADCAST_MID, "survivor")
+    sim.run()
+    for mid in (1, 2, 3):
+        assert [f.payload for f in inboxes[mid]] == ["survivor"]
+    assert bus.faults.frames_scripted_drops == 1
+    assert not bus.faults.scripted_drops_pending
+
+
+def test_drop_matching_targets_nth_match():
+    # "Drop the 2nd frame from node 0" — skip=1 lets the first match pass.
+    sim, bus, nics, inboxes = build_bus()
+    bus.faults.drop_matching(lambda f: f.src == 0, count=1, skip=1)
+    nics[0].send(1, "first")
+    nics[0].send(1, "second")
+    nics[0].send(1, "third")
+    nics[2].send(1, "other")  # non-matching traffic is untouched
+    sim.run()
+    assert [f.payload for f in inboxes[1]] == ["first", "third", "other"]
+    assert bus.faults.frames_scripted_drops == 1
+
+
+def test_drop_matching_broadcast_counts_once():
+    sim, bus, nics, inboxes = build_bus(n_nodes=3)
+    bus.faults.drop_matching(lambda f: f.payload == "doomed")
+    nics[0].send(BROADCAST_MID, "doomed")
+    sim.run()
+    assert inboxes[1] == [] and inboxes[2] == []
+    assert bus.faults.frames_scripted_drops == 1
+
+
+def test_drop_matching_validates_args():
+    plan = FaultPlan()
+    with pytest.raises(ValueError):
+        plan.drop_matching(lambda f: True, count=0)
+    with pytest.raises(ValueError):
+        plan.drop_matching(lambda f: True, skip=-1)
+
+
+def test_predicate_drops_counted_per_delivery():
+    sim, bus, nics, inboxes = build_bus(n_nodes=3)
+    predicate = lambda frame, rx: frame.src == 0
+    bus.faults.add_drop_predicate(predicate)
+    nics[0].send(BROADCAST_MID, "blocked")
+    sim.run()
+    assert inboxes[1] == [] and inboxes[2] == []
+    # Partitions are receiver-specific: two deliveries were suppressed.
+    assert bus.faults.deliveries_predicate_dropped == 2
+    assert bus.faults.frames_scripted_drops == 0
+
+
 def test_fault_plan_validates_probabilities():
     with pytest.raises(ValueError):
         FaultPlan(loss_probability=1.5)

@@ -147,3 +147,53 @@ class TestCostLedger:
         ledger = CostLedger()
         with pytest.raises(ValueError):
             ledger.charge("protocol", -1.0)
+
+
+class TestHubFaultAndTransportMetrics:
+    """The hub exports fault-plan accounting and per-message ACK-attempt
+    histograms (fed by the chaos sweep, useful everywhere)."""
+
+    def _report(self, loss=0.0):
+        from repro.analysis.workloads import build_workload
+        from repro.net.errors import FaultPlan
+        from repro.obs.instrument import MetricsHub
+
+        faults = FaultPlan(loss_probability=loss) if loss else None
+        net = build_workload("echo", faults=faults).run()
+        return MetricsHub().ingest(net)
+
+    def test_fault_counters_surface_as_gauges(self):
+        snap = self._report(loss=0.15).snapshot
+        for name in (
+            "faults.frames_lost",
+            "faults.frames_corrupted",
+            "faults.frames_scripted_drops",
+            "faults.deliveries_predicate_dropped",
+        ):
+            assert snap[name]["type"] == "gauge", name
+        assert snap["faults.frames_lost"]["value"] > 0
+        assert snap["faults.frames_corrupted"]["value"] == 0
+
+    def test_fault_gauges_zero_on_clean_run(self):
+        snap = self._report().snapshot
+        assert snap["faults.frames_lost"]["value"] == 0
+        assert snap["faults.frames_scripted_drops"]["value"] == 0
+
+    def test_attempts_to_ack_histogram(self):
+        snap = self._report().snapshot
+        hist = snap["transport.attempts_to_ack"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] > 0
+        # A clean bus ACKs everything on the first transmission.
+        assert hist["min"] == 1 and hist["max"] == 1
+
+    def test_attempts_to_ack_counts_retransmissions(self):
+        snap = self._report(loss=0.15).snapshot
+        hist = snap["transport.attempts_to_ack"]
+        assert hist["count"] > 0
+        # With 15% loss some message needed more than one transmission.
+        assert hist["max"] > 1
+        # Per-kind breakdown accompanies the aggregate.
+        assert any(
+            name.startswith("transport.attempts_to_ack.") for name in snap
+        )

@@ -1,0 +1,167 @@
+"""Tier-1 gate for the chaos sweep (repro.chaos).
+
+A bounded handful of cells runs in the default suite; the full
+(workload × schedule × seed) matrix hides behind the ``chaos`` marker:
+
+    PYTHONPATH=src python -m pytest -m chaos tests/test_chaos.py
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    SCHEDULES,
+    Scenario,
+    format_repro,
+    make_schedule,
+    matrix_cells,
+    matrix_payload,
+    run_cell,
+    run_matrix,
+    shrink_scenario,
+)
+from repro.chaos.scenario import ClientDie, LossWindow, TargetedDrop
+from repro.analysis.workloads import WORKLOADS, get_spec
+
+
+# ---------------------------------------------------------------------------
+# Bounded gate: representative cells that exercise every action type.
+
+
+GATE_CELLS = [
+    ("echo", "lossy"),
+    ("echo", "client_flap"),
+    ("echo", "server_crash"),
+    ("cancel", "strike"),
+    ("signal", "partition"),
+    ("busy", "server_flap"),
+]
+
+
+@pytest.mark.parametrize("workload,schedule", GATE_CELLS)
+def test_gate_cell_is_clean(workload, schedule):
+    result = run_cell(workload, schedule, seed=1)
+    failures = result.invariant_violations + result.liveness_problems
+    assert result.ok, "\n".join(failures)
+
+
+def test_gate_cells_inject_real_faults():
+    """The noise schedules must actually touch the wire — a sweep that
+    injects nothing is a green light that proves nothing."""
+    lossy = run_cell("echo", "lossy", seed=1)
+    assert lossy.faults["frames_lost"] + lossy.faults["frames_corrupted"] > 0
+    strike = run_cell("cancel", "strike", seed=1)
+    assert strike.faults["frames_scripted_drops"] > 0
+
+
+def test_client_flap_produces_crashed_or_cancelled_spans():
+    result = run_cell("echo", "client_flap", seed=1)
+    terminal_faulty = (
+        result.spans_by_status.get("crashed", 0)
+        + result.spans_by_status.get("cancelled", 0)
+    )
+    assert terminal_faulty > 0, result.spans_by_status
+
+
+# ---------------------------------------------------------------------------
+# Determinism: same seed ⇒ identical report.
+
+
+def test_cell_result_is_deterministic():
+    first = run_cell("stream", "lossy", seed=7)
+    second = run_cell("stream", "lossy", seed=7)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_matrix_payload_is_deterministic():
+    kwargs = dict(workloads=["echo"], schedules=["strike", "client_flap"])
+    one = matrix_payload(run_matrix(seeds=(3,), **kwargs), seed=3)
+    two = matrix_payload(run_matrix(seeds=(3,), **kwargs), seed=3)
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+def test_matrix_enumeration_covers_at_least_24_cells():
+    cells = matrix_cells()
+    assert len(cells) >= 24
+    assert len(cells) == len(WORKLOADS) * len(SCHEDULES)
+    assert cells == sorted(cells)
+
+
+# ---------------------------------------------------------------------------
+# Shrinker + reproducer formatting (synthetic predicate: no sim runs).
+
+
+def _toy_scenario():
+    return Scenario(
+        "toy",
+        (
+            LossWindow(0.0, 1_000.0, loss=0.5),
+            ClientDie(10.0, role="client"),
+            TargetedDrop(0.0, ptype="ack", skip=1),
+        ),
+    )
+
+
+def test_shrink_to_single_culprit():
+    scenario = _toy_scenario()
+
+    def still_fails(trial):
+        return any(isinstance(a, ClientDie) for a in trial.actions)
+
+    minimal = shrink_scenario(scenario, still_fails)
+    assert len(minimal.actions) == 1
+    assert isinstance(minimal.actions[0], ClientDie)
+
+
+def test_shrink_keeps_failing_pair():
+    scenario = _toy_scenario()
+
+    def still_fails(trial):
+        kinds = {type(a) for a in trial.actions}
+        return {ClientDie, TargetedDrop} <= kinds
+
+    minimal = shrink_scenario(scenario, still_fails)
+    assert {type(a) for a in minimal.actions} == {ClientDie, TargetedDrop}
+
+
+def test_shrink_respects_max_runs():
+    scenario = _toy_scenario()
+    calls = []
+
+    def still_fails(trial):
+        calls.append(trial)
+        return True
+
+    shrink_scenario(scenario, still_fails, max_runs=2)
+    assert len(calls) <= 2
+
+
+def test_format_repro_is_pasteable_python():
+    scenario = Scenario("client_flap", (ClientDie(25_000.0, role="client"),))
+    text = format_repro("echo", 1, scenario, ["span <1,1> never terminal"])
+    assert "def test_chaos_regression_echo_client_flap_seed1" in text
+    assert "ClientDie(at_us=25000.0, role='client')" in text
+    compile(text, "<repro>", "exec")  # must be valid Python as-is
+
+
+def test_make_schedule_unknown_name():
+    with pytest.raises(KeyError, match="unknown schedule"):
+        make_schedule("nope", get_spec("echo"))
+
+
+# ---------------------------------------------------------------------------
+# Full sweep (slow-ish; run with `-m chaos`).
+
+
+@pytest.mark.chaos
+def test_full_matrix_is_clean():
+    results = run_matrix(seeds=(1,))
+    assert len(results) >= 24
+    failed = [r for r in results if not r.ok]
+    report = "\n".join(
+        f"{r.workload}/{r.schedule}: "
+        + "; ".join(r.invariant_violations + r.liveness_problems)
+        for r in failed
+    )
+    assert not failed, report

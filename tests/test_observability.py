@@ -58,27 +58,13 @@ def test_key_metrics_present():
 
 
 def test_live_and_posthoc_collection_agree():
-    from repro.analysis.workloads import WORKLOADS
+    from repro.analysis.workloads import build_workload
 
     # Live: attach the hub before the run via a tracer sink.
-    import repro.core.node as node_mod
-
+    built = build_workload("echo")
     live_hub = MetricsHub()
-    original_run = node_mod.Network.run
-
-    installed = []
-
-    def install_then_run(self, *args, **kwargs):
-        if not installed:
-            installed.append(self)
-            live_hub.install(self)
-        return original_run(self, *args, **kwargs)
-
-    node_mod.Network.run = install_then_run
-    try:
-        net_live = WORKLOADS["echo"]()
-    finally:
-        node_mod.Network.run = original_run
+    live_hub.install(built.net)
+    net_live = built.run()
     live = live_hub.report()
 
     posthoc = MetricsHub().ingest(run_workload("echo"))
