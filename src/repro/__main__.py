@@ -9,7 +9,10 @@
     python -m repro lint [paths...]   # sodalint protocol linter
     python -m repro check-trace [workload...]  # trace invariant checker
     python -m repro chaos [--matrix] [--seed N] [--workload W] [--schedule S]
+                          [--no-shrink]
                                       # fault-schedule sweep (repro.chaos)
+    python -m repro recover --demo    # crash → detect → reboot → retry
+                                      # walkthrough (repro.recovery)
 
 The benchmark commands (tables, breakdown, comparison, deltat, metrics)
 accept ``--json PATH`` to also write a machine-readable ``BENCH_*.json``
@@ -224,6 +227,9 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
     matrix = "--matrix" in argv
     if matrix:
         argv.remove("--matrix")
+    shrink = "--no-shrink" not in argv
+    if not shrink:
+        argv.remove("--no-shrink")
     seed_text = _take_flag_value(argv, "--seed")
     seed = int(seed_text) if seed_text else 1
     workload = _take_flag_value(argv, "--workload")
@@ -256,10 +262,14 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
         f"chaos: {len(results) - len(failed)}/{len(results)} cell(s) clean"
     )
     for result in failed:
-        for line in result.invariant_violations + result.liveness_problems:
+        for line in (
+            result.invariant_violations
+            + result.liveness_problems
+            + result.selfheal_problems
+        ):
             print(f"  {result.workload}/{result.schedule}: {line}")
 
-    if failed:
+    if failed and shrink:
         # Shrink the first failure to a minimal reproducer.
         first = failed[0]
         spec = get_spec(first.workload)
@@ -282,13 +292,99 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
                 first.workload,
                 first.seed,
                 minimal,
-                rerun.invariant_violations + rerun.liveness_problems,
+                rerun.invariant_violations
+                + rerun.liveness_problems
+                + rerun.selfheal_problems,
             )
         )
     if json_path:
         write_snapshot(json_path, matrix_payload(results, seed))
         print(f"wrote {json_path}")
     return 1 if failed else 0
+
+
+def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
+    """``recover --demo``: one scripted crash/reboot/retry walkthrough."""
+    from repro.analysis.workloads import build_workload
+    from repro.chaos.scenario import GRACE_US, ClientDie, NodeCrash, Scenario
+    from repro.obs import MetricsHub
+    from repro.recovery import (
+        FailureDetector,
+        check_self_heal,
+        recovery_summary,
+    )
+
+    seed_text = _take_flag_value(argv, "--seed")
+    seed = int(seed_text) if seed_text else None
+
+    built = build_workload("supervised", seed=seed)
+    detector = FailureDetector().install(built.net)
+    hub = MetricsHub().install(built.net)
+    scenario = Scenario(
+        "recover_demo",
+        (
+            # DIE mid-exchange: probe-proof (arg=2) safe retry.
+            ClientDie(15_000.0, role="server"),
+            # Power-fail later: full kernel loss, Delta-t quiet period.
+            NodeCrash(3_290_000.0, role="server"),
+        ),
+    )
+    scenario.apply(built)
+    horizon = max(built.spec.until_us, scenario.last_action_us + 2 * GRACE_US)
+    built.net.run(until=horizon)
+
+    watched = {
+        "kernel.die": "server client DIEd",
+        "kernel.crash": "server node power-failed",
+        "recovery.suspect": "supervisor suspects the service",
+        "recovery.crash_detected": "supervisor declares the service crashed",
+        "recovery.reboot": "supervisor rebooted the node (BOOT/LOAD)",
+        "recovery.restored": "service advertised-and-answering again",
+        "recovery.escalated": "supervisor gave the service up",
+        "recovery.retry": "client safely re-issued a failed REQUEST",
+        "recovery.maybe": "client surfaced an ambiguous failure as MAYBE",
+    }
+    print("timeline:")
+    for record in built.net.sim.trace.records:
+        label = watched.get(record.category)
+        if label is not None:
+            print(f"  t={record.time / 1000.0:9.2f} ms  {label}")
+
+    print()
+    print("failure detector:")
+    for line in detector.format_table():
+        print(f"  {line}")
+
+    summary = recovery_summary(built.net.sim.trace.records)
+    print()
+    print("recovery counters:")
+    for name, value in summary["counts"].items():
+        print(f"  recovery.{name:20s} {value}")
+
+    outcomes = built.net.nodes[built.mid_of("client")].kernel.client
+    outcomes = outcomes.program.outcomes if outcomes else []
+    problems = check_self_heal(built, scenario.last_action_us)
+    unsafe = [s for s in outcomes if s not in ("completed", "maybe")]
+    print()
+    print(f"client outcomes: {outcomes}")
+    for problem in problems:
+        print(f"  self-heal FAILED: {problem}")
+    healed = not problems and not unsafe
+    print(f"self-heal: {'converged' if healed else 'FAILED'}")
+    if json_path:
+        _write_payload(
+            json_path,
+            "recover_demo",
+            {
+                "summary": summary,
+                "detector": detector.summary(),
+                "outcomes": outcomes,
+                "selfheal_problems": problems,
+                "metrics": hub.report().snapshot,
+            },
+            meta={"seed": built.spec.seed if seed is None else seed},
+        )
+    return 0 if healed else 1
 
 
 def main(argv=None) -> int:
@@ -310,6 +406,8 @@ def main(argv=None) -> int:
         return _metrics(argv[1:], json_path=json_path, jsonl_path=jsonl_path)
     elif command == "chaos":
         return _chaos(argv[1:], json_path=json_path)
+    elif command == "recover":
+        return _recover(argv[1:], json_path=json_path)
     elif command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -27,12 +27,15 @@ from repro.bench.workloads import (
     QueuedServer,
     StreamingRequester,
 )
+from repro.core.boot import ProgramImage
 from repro.core.buffers import Buffer
 from repro.core.client import ClientProgram
 from repro.core.config import KernelConfig
 from repro.core.node import Network
 from repro.core.patterns import make_well_known_pattern
 from repro.net.errors import FaultPlan
+from repro.recovery.retry import RetryPolicy, retry_request
+from repro.recovery.supervisor import SupervisedService, SupervisorProgram
 
 __all__ = [
     "BENCH_PATTERN",
@@ -110,6 +113,49 @@ class _CancellingClient(ClientProgram):
         yield from api.serve_forever()
 
 
+class _RetryClient(ClientProgram):
+    """Issues a paced stream of echo ops through the safe-retry shim.
+
+    Survives server crashes mid-stream: provably-unexecuted failures are
+    re-issued against the rebooted incarnation, ambiguous ones resolve
+    to MAYBE (never a silent double execution).
+    """
+
+    def __init__(self, total: int = 10, gap_us: float = 300_000.0) -> None:
+        self.total = total
+        self.gap_us = gap_us
+        self.outcomes: List[str] = []
+
+    def task(self, api):
+        policy = RetryPolicy(max_attempts=6, deadline_us=6_000_000.0)
+        for i in range(self.total):
+            outcome = yield from retry_request(
+                api,
+                ECHO_PATTERN,
+                put=b"op%d" % i,
+                get=16,
+                policy=policy,
+            )
+            self.outcomes.append(outcome.status)
+            yield api.compute(self.gap_us)
+        yield from api.serve_forever()
+
+
+def _make_supervisor() -> SupervisorProgram:
+    return SupervisorProgram(
+        services=(
+            SupervisedService(
+                name="server",
+                mid=0,
+                pattern=ECHO_PATTERN,
+                image=ProgramImage(
+                    "echo-server", _EchoServer, size_bytes=2048
+                ),
+            ),
+        ),
+    )
+
+
 class _Pinger(ClientProgram):
     def __init__(self, rounds: int = 3) -> None:
         self.rounds = rounds
@@ -138,6 +184,10 @@ class WorkloadSpec:
     seed: int
     until_us: float
     roles: Tuple[WorkloadRole, ...]
+    #: Role names watched by an in-workload supervisor; the chaos
+    #: runner's self-heal judgment (repro.recovery.convergence) applies
+    #: only to these.
+    supervised: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -230,6 +280,17 @@ WORKLOADS: Dict[str, WorkloadSpec] = {
                 WorkloadRole("server", _NeverAcceptServer),
                 WorkloadRole("client", _CancellingClient, boot_at_us=100.0),
             ),
+        ),
+        WorkloadSpec(
+            "supervised",
+            seed=17,
+            until_us=10_000_000.0,
+            roles=(
+                WorkloadRole("server", _EchoServer),
+                WorkloadRole("supervisor", _make_supervisor, boot_at_us=50.0),
+                WorkloadRole("client", _RetryClient, boot_at_us=100.0),
+            ),
+            supervised=("server",),
         ),
         WorkloadSpec(
             "signal",

@@ -13,6 +13,7 @@ See ``docs/CHAOS.md``.
 
 from repro.chaos.liveness import check_liveness
 from repro.chaos.runner import (
+    RECOVERY_SCHEDULES,
     SCHEDULES,
     CellResult,
     make_schedule,
@@ -35,6 +36,7 @@ from repro.chaos.shrink import format_repro, shrink_scenario
 
 __all__ = [
     "GRACE_US",
+    "RECOVERY_SCHEDULES",
     "SCHEDULES",
     "CellResult",
     "ClientDie",

@@ -37,6 +37,7 @@ from repro.chaos.scenario import (
 from repro.chaos.liveness import check_liveness
 from repro.obs.export import snapshot_payload
 from repro.obs.spans import build_spans
+from repro.recovery.convergence import check_self_heal, recovery_summary
 
 
 def _server_role(spec: WorkloadSpec) -> str:
@@ -119,6 +120,51 @@ def _server_crash(spec: WorkloadSpec) -> Scenario:
     )
 
 
+def _calm(spec: WorkloadSpec) -> Scenario:
+    # The fault-free control row: a healthy run must produce zero crash
+    # reports and zero false suspicions (docs/RECOVERY.md).
+    return Scenario("calm", ())
+
+
+def _crash_idle(spec: WorkloadSpec) -> Scenario:
+    # Crash-then-idle: the server dies and *nothing in the schedule*
+    # brings it back.  Supervised workloads must self-heal through the
+    # supervisor's BOOT/LOAD path; unsupervised ones must terminate
+    # every pending span against the permanently-dead server.
+    # t=15ms lands inside the supervised client's first exchange, so the
+    # DIE leaves a DELIVERED-but-unACCEPTed record behind and the retry
+    # shim's probe-proof path (arg=2) gets exercised, not just healing.
+    return Scenario(
+        "crash_idle", (ClientDie(15_000.0, role=_server_role(spec)),)
+    )
+
+
+def _crash_load(spec: WorkloadSpec) -> Scenario:
+    # Power-fail the server node under request load; no scripted reboot
+    # — recovery, if promised, is the supervisor's job.
+    # t=334ms is inside a later exchange of the supervised client: a
+    # power failure wipes the crashed-unaccepted memory with the rest of
+    # the kernel, so the in-flight op must resolve as MAYBE (ambiguous),
+    # never as a blind retry.
+    return Scenario(
+        "crash_load", (NodeCrash(334_000.0, role=_server_role(spec)),)
+    )
+
+
+def _flap(spec: WorkloadSpec) -> Scenario:
+    # Flapping node: die, get healed (supervisor), die again — forcing
+    # two full supervision cycles.  For unsupervised workloads the
+    # second DIE is a forgiving no-op on an already-dead client.
+    role = _server_role(spec)
+    return Scenario(
+        "flap",
+        (
+            ClientDie(25_000.0, role=role),
+            ClientDie(1_292_000.0, role=role),
+        ),
+    )
+
+
 #: Named schedule factories; each adapts to the workload's role names.
 SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "lossy": _lossy,
@@ -127,7 +173,15 @@ SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "client_flap": _client_flap,
     "server_flap": _server_flap,
     "server_crash": _server_crash,
+    "calm": _calm,
+    "crash_idle": _crash_idle,
+    "crash_load": _crash_load,
+    "flap": _flap,
 }
+
+#: The recovery schedules judged by the self-heal check (plus every
+#: other schedule: the check runs on all cells of supervised workloads).
+RECOVERY_SCHEDULES = ("crash_idle", "crash_load", "flap")
 
 
 @dataclass
@@ -140,13 +194,19 @@ class CellResult:
     horizon_us: float
     invariant_violations: List[str] = field(default_factory=list)
     liveness_problems: List[str] = field(default_factory=list)
+    selfheal_problems: List[str] = field(default_factory=list)
     spans_by_status: Dict[str, int] = field(default_factory=dict)
     faults: Dict[str, int] = field(default_factory=dict)
+    recovery: Dict[str, object] = field(default_factory=dict)
     frames_sent: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.invariant_violations and not self.liveness_problems
+        return (
+            not self.invariant_violations
+            and not self.liveness_problems
+            and not self.selfheal_problems
+        )
 
     @property
     def key(self) -> Tuple[str, str, int]:
@@ -161,8 +221,10 @@ class CellResult:
             "horizon_us": self.horizon_us,
             "invariant_violations": list(self.invariant_violations),
             "liveness_problems": list(self.liveness_problems),
+            "selfheal_problems": list(self.selfheal_problems),
             "spans_by_status": dict(sorted(self.spans_by_status.items())),
             "faults": dict(sorted(self.faults.items())),
+            "recovery": self.recovery,
             "frames_sent": self.frames_sent,
         }
 
@@ -198,6 +260,7 @@ def run_cell(
     violations = check_network(net, strict_completion=False)
     spans = build_spans(net.sim.trace.records)
     problems = check_liveness(net, spans=spans)
+    selfheal = check_self_heal(built, scenario.last_action_us)
 
     by_status: Dict[str, int] = {}
     for span in spans:
@@ -210,6 +273,8 @@ def run_cell(
         horizon_us=horizon,
         invariant_violations=[v.format() for v in violations],
         liveness_problems=problems,
+        selfheal_problems=selfheal,
+        recovery=recovery_summary(net.sim.trace.records),
         spans_by_status=by_status,
         faults={
             "frames_lost": faults.frames_lost,

@@ -58,6 +58,10 @@ class HandlerEvent:
     taken_get: int = 0
     #: MID of the booting parent (BOOTING only).
     parent_mid: Optional[int] = None
+    #: On failed completions: True when the failure *proves* the server
+    #: handler never executed (safe to retry), None when ambiguous
+    #: (docs/RECOVERY.md).  Always None on successful completions.
+    not_executed: Optional[bool] = None
 
     @property
     def is_arrival(self) -> bool:

@@ -184,6 +184,11 @@ class SodaKernel:
 
         # server side
         self.delivered: Dict[RequesterSignature, DeliveredRequest] = {}
+        # Signatures the last dead incarnation left DELIVERED but never
+        # ACCEPTed: their handlers provably never executed, so a PROBE
+        # naming one is answered with arg=2 ("crashed before ACCEPT") and
+        # the requester may safely re-issue the REQUEST (§3.6.1).
+        self.crashed_unaccepted: set[RequesterSignature] = set()
         self.pending_accepts: Dict[RequesterSignature, PendingAccept] = {}
         self.completion_queue: Deque[HandlerEvent] = deque()
         self.held: Optional[HeldRequest] = None
@@ -401,7 +406,12 @@ class SodaKernel:
         if code is NackCode.UNADVERTISED:
             record = self.requests.get(packet.tid)
             if record is not None and record.open:
-                self._complete_request_failure(record, RequestStatus.UNADVERTISED)
+                self._complete_request_failure(
+                    record,
+                    RequestStatus.UNADVERTISED,
+                    reason="nack_unadvertised",
+                    not_executed=True,
+                )
             return
         if code in (NackCode.CANCELLED, NackCode.CRASHED):
             sig = RequesterSignature(src, packet.tid)
@@ -748,10 +758,29 @@ class SodaKernel:
             if conn.heard_from_peer
             else RequestStatus.UNADVERTISED
         )
-        self._complete_request_failure(record, status)
+        # A REQUEST still QUEUED behind the dead head of the outbox was
+        # never transmitted, so it provably never executed.  One that was
+        # transmitted but never acked is ambiguous: the *ack* may be what
+        # was lost, with the server alive and executing behind a
+        # partition (docs/RECOVERY.md, retry-safety table).
+        not_executed: Optional[bool]
+        if status is RequestStatus.UNADVERTISED:
+            not_executed = True  # never heard from the peer at all
+        elif record.state is RequestState.QUEUED:
+            not_executed = True
+        else:
+            not_executed = None
+        self._complete_request_failure(
+            record, status, reason="retransmit_exhausted", not_executed=not_executed
+        )
 
     def _complete_request_failure(
-        self, record: RequestRecord, status: RequestStatus
+        self,
+        record: RequestRecord,
+        status: RequestStatus,
+        *,
+        reason: str = "",
+        not_executed: Optional[bool] = None,
     ) -> None:
         if not record.open:
             return
@@ -770,12 +799,28 @@ class SodaKernel:
             arg=0,
             taken_put=0,
             taken_get=0,
+            reason=reason,
+            not_executed=not_executed,
+        )
+        # Crash-report hook (§3.6 → repro.recovery): every failed
+        # transaction names the peer it gave up on, why, and whether the
+        # failure proves non-execution.
+        self.sim.trace.record(
+            self.sim.now,
+            "kernel.crash_report",
+            mid=self.mid,
+            peer=record.server_sig.mid,
+            tid=record.tid,
+            status=status.value,
+            reason=reason,
+            not_executed=not_executed,
         )
         event = HandlerEvent(
             reason=HandlerReason.REQUEST_COMPLETE,
             asker=RequesterSignature(self.mid, record.tid),
             status=status,
             arg=0,
+            not_executed=not_executed,
         )
         self._deliver_completion(event)
 
@@ -1115,7 +1160,9 @@ class SodaKernel:
             return
         record.probe_failures += 1
         if record.probe_failures >= self.config.probe_failures_to_crash:
-            self._complete_request_failure(record, RequestStatus.CRASHED)
+            self._complete_request_failure(
+                record, RequestStatus.CRASHED, reason="probe_timeout"
+            )
         else:
             self._probe_fire(record)
 
@@ -1127,10 +1174,19 @@ class SodaKernel:
             DeliveredState.ACCEPTED,
             DeliveredState.DONE,
         )
+        if alive:
+            arg = 1
+        elif sig in self.crashed_unaccepted:
+            # The previous incarnation died holding this REQUEST
+            # DELIVERED but never ACCEPTed: the handler provably never
+            # ran, so tell the requester a retry is safe.
+            arg = 2
+        else:
+            arg = 0
         reply = Packet(
             PacketType.PROBE_REPLY,
             tid=packet.tid,
-            arg=1 if alive else 0,
+            arg=arg,
             ack=conn.take_piggyback_ack(),
         )
         self.transmit_packet(src, reply, sequenced=False)
@@ -1145,8 +1201,17 @@ class SodaKernel:
         if packet.arg == 1:
             record.probe_failures = 0
             self._schedule_probe(record)
+        elif packet.arg == 2:
+            self._complete_request_failure(
+                record,
+                RequestStatus.CRASHED,
+                reason="probe_crashed_unaccepted",
+                not_executed=True,
+            )
         else:
-            self._complete_request_failure(record, RequestStatus.CRASHED)
+            self._complete_request_failure(
+                record, RequestStatus.CRASHED, reason="probe_denied"
+            )
 
     # -- DISCOVER (§3.4.4, §5.3) ------------------------------------------
 
@@ -1325,6 +1390,14 @@ class SodaKernel:
             return
         # A SIGNAL: first one starts the client, the second kills it.
         if not load.started:
+            if self.client is not None and not self.client.dead:
+                # The boot was superseded: another parent installed a
+                # client while this load was in flight (e.g. a chaos
+                # Reboot racing a supervisor reboot).  REJECT instead of
+                # starting a second client on a live node.
+                self._load = None
+                self._kernel_reject(src, packet)
+                return
             load.started = True
             self._kernel_accept(src, packet)
             self._start_loaded_client(load)
@@ -1432,6 +1505,16 @@ class SodaKernel:
                 )
             record.state = RequestState.CANCELLED
         self.requests.clear()
+        # Remember which exchanges died DELIVERED-but-unACCEPTed: their
+        # handlers never ran, and probes answer arg=2 for them so the
+        # requester learns the failure proves non-execution.  Only the
+        # latest incarnation is remembered; older signatures fall back to
+        # the ambiguous arg=0 answer, which is the safe direction.
+        self.crashed_unaccepted = {
+            sig
+            for sig, delivered in self.delivered.items()
+            if delivered.state is DeliveredState.DELIVERED
+        }
         self.delivered.clear()
         # Open DISCOVER windows belong to the dead incarnation: cancel
         # their timers so late DISCOVER_REPLYs cannot touch dead state.
@@ -1463,6 +1546,10 @@ class SodaKernel:
         """Power failure: client and kernel state are lost; after the
         Delta-t quiet period the node may rejoin (§5.2.2)."""
         self._kill_client()
+        # A power failure loses kernel memory too: the crashed-unaccepted
+        # set does not survive, so post-recovery probes answer arg=0
+        # (ambiguous), never a false "provably unexecuted".
+        self.crashed_unaccepted.clear()
         for conn in self.connections.values():
             conn.reset()
         self.connections.clear()

@@ -22,8 +22,20 @@ from repro.facilities.links import LinkEnd, LinkService
 from repro.facilities.rendezvous import CspGuard, CspProcess
 from repro.facilities.timeservice import TimeServer, set_alarm, sleep_via
 
+# The supervision facility lives in repro.recovery (it ships with the
+# failure detector and retry shim) but is, like everything here, pure
+# client code over BOOT/LOAD — re-exported as a facility.
+from repro.recovery.supervisor import (
+    RestartPolicy,
+    SupervisedService,
+    SupervisorProgram,
+)
+
 __all__ = [
     "ConnectedProgram",
+    "RestartPolicy",
+    "SupervisedService",
+    "SupervisorProgram",
     "CspGuard",
     "CspProcess",
     "InputPort",

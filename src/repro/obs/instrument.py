@@ -68,11 +68,25 @@ class ObsReport:
 class MetricsHub:
     """Collects registry metrics and spans for one network run."""
 
+    #: Always-visible recovery counters (docs/RECOVERY.md): registered
+    #: up front so fault-free runs report them as explicit zeros.
+    RECOVERY_COUNTERS = (
+        "recovery.crash_reports",
+        "recovery.crashes_detected",
+        "recovery.reboots_issued",
+        "recovery.retries",
+        "recovery.ambiguous_maybes",
+        "recovery.restored",
+        "recovery.escalations",
+    )
+
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry or MetricsRegistry()
         self.spans = SpanBuilder()
         self._net: Optional["Network"] = None
         self._handler_start: Dict[int, float] = {}
+        for name in self.RECOVERY_COUNTERS:
+            self.registry.counter(name)
 
     # -- attachment --------------------------------------------------------
 
@@ -153,6 +167,25 @@ class MetricsHub:
                 )
         elif category == "net.drop":
             reg.counter("bus.frames_dropped").inc()
+        elif category == "kernel.crash_report":
+            reg.counter("recovery.crash_reports").inc()
+            reg.counter(f"recovery.crash_reports.{record['reason']}").inc()
+        elif category == "recovery.suspect":
+            reg.counter("recovery.suspicions").inc()
+        elif category == "recovery.crash_detected":
+            reg.counter("recovery.crashes_detected").inc()
+        elif category == "recovery.reboot":
+            reg.counter("recovery.reboots_issued").inc()
+        elif category == "recovery.reboot_attempt":
+            reg.counter("recovery.reboot_attempts").inc()
+        elif category == "recovery.restored":
+            reg.counter("recovery.restored").inc()
+        elif category == "recovery.escalated":
+            reg.counter("recovery.escalations").inc()
+        elif category == "recovery.retry":
+            reg.counter("recovery.retries").inc()
+        elif category == "recovery.maybe":
+            reg.counter("recovery.ambiguous_maybes").inc()
 
     # -- pull collection ---------------------------------------------------
 

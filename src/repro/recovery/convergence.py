@@ -1,0 +1,143 @@
+"""The chaos self-heal judgment: do supervised services converge?
+
+After the last fault of a schedule clears, a supervised workload must
+*return to service* — not merely avoid safety violations.  This module
+gives the chaos runner that verdict:
+
+* every supervised role ends the run with a live client whose service
+  pattern is advertised again;
+* every ``recovery.crash_detected`` is answered by a
+  ``recovery.restored`` within :data:`SELF_HEAL_BOUND_US` of the later
+  of the detection and the last scheduled fault;
+* the supervisor never escalated (gave the service up for dead).
+
+Span termination — the other half of "converged" — is already enforced
+by :mod:`repro.chaos.liveness`; together they make the post-fault
+contract: *everything pending terminates, and the service comes back.*
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.recovery.detector import FailureDetector
+from repro.recovery.supervisor import SupervisorProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.workloads import BuiltWorkload
+
+#: How long after the last fault (or the crash detection, whichever is
+#: later) a supervised service may take to be advertised-and-answering
+#: again.  Sized like the liveness grace: detection (3 polls of 200ms)
+#: + backoff + a full BOOT/LOAD round trip fit comfortably.
+SELF_HEAL_BOUND_US = 3_000_000.0
+
+#: Trace categories folded into :func:`recovery_summary` counts.
+_SUMMARY_CATEGORIES = {
+    "kernel.crash_report": "crash_reports",
+    "recovery.crash_detected": "crashes_detected",
+    "recovery.reboot": "reboots_issued",
+    "recovery.restored": "restored",
+    "recovery.escalated": "escalations",
+    "recovery.retry": "retries",
+    "recovery.maybe": "ambiguous_maybes",
+}
+
+
+def recovery_summary(records) -> Dict[str, object]:
+    """Deterministic recovery digest of one run's trace records."""
+    detector = FailureDetector().ingest(records)
+    counts = {key: 0 for key in sorted(_SUMMARY_CATEGORIES.values())}
+    for record in records:
+        key = _SUMMARY_CATEGORIES.get(record.category)
+        if key is not None:
+            counts[key] += 1
+    return {
+        "counts": counts,
+        "false_suspicions": detector.false_suspicions,
+        "epochs": {
+            str(mid): detector.views[mid].epoch
+            for mid in sorted(detector.views)
+        },
+    }
+
+
+def _supervisor_patterns(built: "BuiltWorkload") -> Dict[int, int]:
+    """service mid → advertised pattern, from live supervisor programs."""
+    patterns: Dict[int, int] = {}
+    for node in built.net.nodes.values():
+        client = node.kernel.client
+        if client is None:
+            continue
+        program = getattr(client, "program", None)
+        if isinstance(program, SupervisorProgram):
+            for service in program.services:
+                patterns[service.mid] = service.pattern
+    return patterns
+
+
+def check_self_heal(
+    built: "BuiltWorkload",
+    last_fault_us: float,
+    bound_us: float = SELF_HEAL_BOUND_US,
+) -> List[str]:
+    """Post-run convergence check; returns human-readable problems.
+
+    Empty for workloads with no ``supervised`` roles: the self-heal
+    contract only binds services something promised to heal.
+    """
+    supervised = built.spec.supervised
+    if not supervised:
+        return []
+    problems: List[str] = []
+    records = built.net.sim.trace.records
+    patterns = _supervisor_patterns(built)
+
+    for role_name in supervised:
+        mid = built.mid_of(role_name)
+        kernel = built.net.nodes[mid].kernel
+        client = kernel.client
+        if client is None or client.dead:
+            problems.append(
+                f"supervised role {role_name!r} (mid {mid}) has no live "
+                f"client at the horizon"
+            )
+            continue
+        pattern = patterns.get(mid)
+        if pattern is not None and not kernel.patterns.matches(pattern):
+            problems.append(
+                f"supervised role {role_name!r} (mid {mid}) is alive but "
+                f"its service pattern is not advertised at the horizon"
+            )
+
+    supervised_mids = {built.mid_of(name) for name in supervised}
+    restored_times: Dict[int, List[float]] = {}
+    for record in records:
+        if record.category == "recovery.restored":
+            restored_times.setdefault(record["service_mid"], []).append(
+                record.time
+            )
+    for record in records:
+        if record.category == "recovery.escalated":
+            if record["service_mid"] in supervised_mids:
+                problems.append(
+                    f"supervisor escalated service mid "
+                    f"{record['service_mid']} at t={record.time:.0f}us "
+                    f"(restart budget exhausted)"
+                )
+        elif record.category == "recovery.crash_detected":
+            service_mid = record["service_mid"]
+            if service_mid not in supervised_mids:
+                continue
+            deadline = max(record.time, last_fault_us) + bound_us
+            healed = any(
+                record.time <= t <= deadline
+                for t in restored_times.get(service_mid, ())
+            )
+            if not healed:
+                problems.append(
+                    f"service mid {service_mid} detected crashed at "
+                    f"t={record.time:.0f}us was not restored within "
+                    f"{bound_us:.0f}us of the last fault"
+                )
+    return problems

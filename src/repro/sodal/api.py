@@ -41,6 +41,9 @@ class Completion:
     taken_put: int = 0
     taken_get: int = 0
     tid: int = 0
+    #: True when a failure provably never executed server-side (safe to
+    #: re-issue); None when ambiguous or on success (docs/RECOVERY.md).
+    not_executed: Optional[bool] = None
 
     @property
     def rejected(self) -> bool:
@@ -367,6 +370,7 @@ class SodalApi:
             taken_put=event.taken_put,
             taken_get=event.taken_get,
             tid=tid,
+            not_executed=event.not_executed,
         )
 
     def watch_completion(self, tid: int):
@@ -393,6 +397,7 @@ class SodalApi:
             taken_put=event.taken_put,
             taken_get=event.taken_get,
             tid=tid,
+            not_executed=event.not_executed,
         )
 
     def await_completion(self, tid: int) -> Generator:
@@ -409,6 +414,7 @@ class SodalApi:
             taken_put=event.taken_put,
             taken_get=event.taken_get,
             tid=tid,
+            not_executed=event.not_executed,
         )
 
     def b_signal(self, server: ServerSignature, arg: int = OK) -> Generator:

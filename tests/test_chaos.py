@@ -36,6 +36,9 @@ GATE_CELLS = [
     ("cancel", "strike"),
     ("signal", "partition"),
     ("busy", "server_flap"),
+    ("supervised", "crash_idle"),
+    ("supervised", "crash_load"),
+    ("supervised", "flap"),
 ]
 
 
@@ -62,6 +65,61 @@ def test_client_flap_produces_crashed_or_cancelled_spans():
         + result.spans_by_status.get("cancelled", 0)
     )
     assert terminal_faulty > 0, result.spans_by_status
+
+
+# ---------------------------------------------------------------------------
+# Recovery schedules: the self-heal contract (docs/RECOVERY.md).
+
+
+def test_recovery_schedules_inject_and_heal():
+    from repro.chaos import RECOVERY_SCHEDULES
+
+    for schedule in RECOVERY_SCHEDULES:
+        result = run_cell("supervised", schedule, seed=1)
+        assert result.ok, (schedule, result.selfheal_problems)
+        counts = result.recovery["counts"]
+        # The schedule really killed the service and the supervisor
+        # really brought it back — a sweep that heals nothing proves
+        # nothing.
+        assert counts["crashes_detected"] >= 1, schedule
+        assert counts["reboots_issued"] >= 1, schedule
+        assert counts["restored"] >= 1, schedule
+        assert counts["escalations"] == 0, schedule
+
+
+def test_crash_idle_exercises_safe_retry():
+    # The DIE lands mid-exchange: the retry shim must re-issue at least
+    # one provably-unexecuted op (and everything still converges).
+    result = run_cell("supervised", "crash_idle", seed=1)
+    assert result.ok
+    assert result.recovery["counts"]["retries"] >= 1
+
+
+def test_calm_schedule_has_zero_false_suspicions():
+    # Acceptance: a fault-free sweep reports no crash activity at all,
+    # for every workload.
+    for workload in sorted(WORKLOADS):
+        result = run_cell(workload, "calm", seed=1)
+        assert result.ok, (workload, result.to_dict())
+        counts = result.recovery["counts"]
+        assert counts["crash_reports"] == 0, workload
+        assert counts["crashes_detected"] == 0, workload
+        assert result.recovery["false_suspicions"] == 0, workload
+        assert result.faults["frames_lost"] == 0
+
+
+def test_selfheal_failure_flips_cell_to_failed():
+    from repro.chaos.runner import CellResult
+
+    cell = CellResult(
+        workload="supervised",
+        schedule="crash_idle",
+        seed=1,
+        horizon_us=0.0,
+        selfheal_problems=["service mid 0 was not restored"],
+    )
+    assert not cell.ok
+    assert cell.to_dict()["selfheal_problems"]
 
 
 # ---------------------------------------------------------------------------

@@ -38,3 +38,56 @@ def test_unknown_command_fails(capsys):
 def test_default_is_quickstart(capsys):
     assert main([]) == 0
     assert "exchange" in capsys.readouterr().out
+
+
+def test_chaos_single_cell_exits_zero(capsys):
+    code = main(
+        ["chaos", "--workload", "echo", "--schedule", "calm", "--no-shrink"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1/1 cell(s) clean" in out
+
+
+def test_chaos_matrix_failure_exits_nonzero(capsys, monkeypatch):
+    # Regression: a failed cell must flip the process exit code (CI
+    # keys off it), and --no-shrink must skip the shrink pass entirely.
+    import repro.chaos
+    from repro.chaos.runner import CellResult
+
+    failing = CellResult(
+        workload="echo",
+        schedule="calm",
+        seed=1,
+        horizon_us=0.0,
+        liveness_problems=["span <1,1> never terminal"],
+    )
+
+    def fake_matrix(workloads=None, schedules=None, seeds=(1,), progress=None):
+        if progress is not None:
+            progress(failing)
+        return [failing]
+
+    monkeypatch.setattr(repro.chaos, "run_matrix", fake_matrix)
+    assert main(["chaos", "--matrix", "--no-shrink"]) == 1
+    out = capsys.readouterr().out
+    assert "0/1 cell(s) clean" in out
+    assert "never terminal" in out
+    assert "minimal reproducer" not in out  # --no-shrink honoured
+
+
+def test_recover_demo_converges(capsys, tmp_path):
+    json_path = tmp_path / "recover.json"
+    assert main(["recover", "--demo", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "self-heal: converged" in out
+    assert "supervisor rebooted the node" in out
+    assert "failure detector:" in out
+
+    import json
+
+    payload = json.loads(json_path.read_text())
+    counts = payload["body"]["summary"]["counts"]
+    assert counts["reboots_issued"] >= 1
+    assert counts["restored"] >= 1
+    assert payload["body"]["selfheal_problems"] == []
