@@ -8,9 +8,12 @@
     python -m repro metrics [workload]  # observability report (repro.obs)
     python -m repro lint [paths...]   # sodalint protocol linter
     python -m repro check-trace [workload...]  # trace invariant checker
-    python -m repro chaos [--matrix] [--seed N] [--workload W] [--schedule S]
-                          [--no-shrink]
+    python -m repro chaos [--matrix] [--seed N] [--workload W[,W...]]
+                          [--schedule S[,S...]] [--no-shrink]
                                       # fault-schedule sweep (repro.chaos)
+    python -m repro transport-bench [--seed N]
+                                      # adaptive-vs-static comparison
+                                      # under sustained_loss (ISSUE 5)
     python -m repro recover --demo    # crash → detect → reboot → retry
                                       # walkthrough (repro.recovery)
 
@@ -235,8 +238,8 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
     workload = _take_flag_value(argv, "--workload")
     schedule = _take_flag_value(argv, "--schedule")
 
-    workloads = [workload] if workload else None
-    schedules = [schedule] if schedule else None
+    workloads = workload.split(",") if workload else None
+    schedules = schedule.split(",") if schedule else None
     if not matrix and not workload and not schedule:
         # Quick mode: one representative workload across all schedules.
         workloads = ["echo"]
@@ -301,6 +304,71 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
         write_snapshot(json_path, matrix_payload(results, seed))
         print(f"wrote {json_path}")
     return 1 if failed else 0
+
+
+def _transport_bench(
+    argv: List[str], json_path: Optional[str] = None
+) -> int:
+    """Adaptive-vs-static sweep under sustained loss (ISSUE 5)."""
+    from repro.bench.tables import format_table
+    from repro.bench.transport import run_transport_bench
+
+    seed_text = _take_flag_value(argv, "--seed")
+    seeds = (int(seed_text),) if seed_text else (1,)
+    body = run_transport_bench(seeds=seeds)
+
+    rows = []
+    for name in ("static", "adaptive"):
+        summary = body[name]["summary"]
+        rows.append(
+            (
+                name,
+                summary["spurious_retransmits"],
+                summary["retransmits"],
+                summary["sheds"],
+                summary["completed"],
+                round(summary["p50_latency_us"] / 1000.0, 1)
+                if summary["p50_latency_us"] is not None
+                else "-",
+                round(summary["p99_latency_us"] / 1000.0, 1)
+                if summary["p99_latency_us"] is not None
+                else "-",
+            )
+        )
+    print(
+        format_table(
+            [
+                "policy",
+                "spurious",
+                "retx",
+                "sheds",
+                "completed",
+                "p50 ms",
+                "p99 ms",
+            ],
+            rows,
+            title=f"Transport policies under {body['schedule']}",
+        )
+    )
+    comparison = body["comparison"]
+    wins = (
+        comparison["adaptive_beats_static_spurious"]
+        and comparison["adaptive_beats_static_p99"]
+    )
+    print(
+        f"adaptive beats static on spurious retransmits: "
+        f"{comparison['adaptive_beats_static_spurious']}"
+    )
+    print(
+        f"adaptive beats static on p99 latency: "
+        f"{comparison['adaptive_beats_static_p99']}"
+    )
+    if json_path:
+        _write_payload(
+            json_path, "transport_comparison", body,
+            meta={"seeds": list(seeds)},
+        )
+    return 0 if wins else 1
 
 
 def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
@@ -406,6 +474,8 @@ def main(argv=None) -> int:
         return _metrics(argv[1:], json_path=json_path, jsonl_path=jsonl_path)
     elif command == "chaos":
         return _chaos(argv[1:], json_path=json_path)
+    elif command == "transport-bench":
+        return _transport_bench(argv[1:], json_path=json_path)
     elif command == "recover":
         return _recover(argv[1:], json_path=json_path)
     elif command == "lint":

@@ -19,6 +19,13 @@ transport invariants that must hold on every run:
   leak.
 * **INV-LEDGER** — the cost ledger's total equals the sum of the
   per-category charges, categories are known, and no charge is negative.
+* **SODA007** — BUSY retry earlier than hinted: when a BUSY NACK
+  carries an explicit retry hint (the overload controller's widened
+  decaying-rate hint, §5.2.3 + ISSUE 5), the client must not
+  retransmit the nacked message before the hinted delay has elapsed.
+  The rule binds a client only to hints that actually *reached* it
+  (the ``hint`` field on its own ``kernel.rx`` record), and a priority
+  swap (§5.2.3) releases the parked message from the constraint.
 
 The checker consumes the extra record fields the kernel emits for it
 (``seq``/``pid``/``ack``/``nack`` on ``kernel.tx``/``kernel.rx``,
@@ -79,6 +86,7 @@ class _PidState:
     count: int = 1
     data_bytes: int = 0
     busy: bool = False
+    tid: Optional[int] = None
 
 
 @dataclass
@@ -90,6 +98,9 @@ class _SendState:
     #: legitimizes a non-flipping sequence bit on the next one.
     resync_ok: bool = False
     pids: Dict[int, _PidState] = field(default_factory=dict)
+    #: SODA007: pid -> earliest time its next transmission may occur,
+    #: set when a BUSY NACK carrying an explicit retry hint arrives.
+    busy_hint: Dict[int, float] = field(default_factory=dict)
 
 
 class InvariantChecker:
@@ -133,12 +144,23 @@ class InvariantChecker:
                     state = send.get((rec["mid"], rec["src"]))
                     if state is not None:
                         state.resync_ok = True
-                        for pid_state in state.pids.values():
+                        hint = rec.get("hint")
+                        for pid, pid_state in state.pids.items():
                             pid_state.busy = True
+                            # SODA007: the hinted delay binds the nacked
+                            # message (matched by tid) from the moment
+                            # the hint reached this client.
+                            if (
+                                hint is not None
+                                and pid_state.tid is not None
+                                and pid_state.tid == rec.get("tid")
+                            ):
+                                state.busy_hint[pid] = rec.time + hint
             elif category == "conn.peer_dead":
                 state = send.get((rec["mid"], rec["peer"]))
                 if state is not None:
                     state.resync_ok = True
+                    state.busy_hint.clear()
             elif category == "conn.seq_swap":
                 # A priority message displaced a BUSY-parked one
                 # (§5.2.3): the parked message's next transmission is a
@@ -147,6 +169,7 @@ class InvariantChecker:
                 state = send.get((rec["mid"], rec["peer"]))
                 if state is not None:
                     state.pids.pop(rec["parked_pid"], None)
+                    state.busy_hint.pop(rec["parked_pid"], None)
                     state.resync_ok = True
             elif category == "kernel.interrupt":
                 mid = rec["mid"]
@@ -229,6 +252,19 @@ class InvariantChecker:
                         f"its sequence bit {pid_state.seq} -> {seq}",
                     )
                 )
+            earliest = state.busy_hint.pop(pid, None)
+            if earliest is not None and rec.time < earliest - 1.0:
+                violations.append(
+                    InvariantViolation(
+                        "SODA007",
+                        rec.time,
+                        mid,
+                        f"BUSY retry of pkt#{pid} to {dst} sent "
+                        f"{(earliest - rec.time)/1000.0:.1f}ms earlier "
+                        f"than the retry hint allowed; clients must "
+                        f"honor the decaying-rate hint (§5.2.3)",
+                    )
+                )
             pid_state.count += 1
             pid_state.last_us = rec.time
             return
@@ -254,6 +290,7 @@ class InvariantChecker:
             first_us=rec.time,
             last_us=rec.time,
             data_bytes=rec.get("bytes", 0) or 0,
+            tid=rec.get("tid"),
         )
 
     def _finalize_pids(
@@ -279,14 +316,16 @@ class InvariantChecker:
                         )
                     )
                     continue
-                per_try = (
-                    policy.ack_timeout_us
-                    + policy.ack_timeout_per_byte_us * ps.data_bytes
-                    + policy.ack_jitter_us
-                )
+                # The policy states its own worst-case window (the same
+                # bound deltat_for_policy harmonizes Delta-t's R with),
+                # so the check holds for static and adaptive alike.
                 # Kernel-CPU serialization can push a retransmission out
                 # a little past its timer; allow a generous margin.
-                bound = ps.count * per_try * 1.5 + 10_000.0
+                bound = (
+                    policy.retry_window_bound_us(ps.count, ps.data_bytes)
+                    * 1.5
+                    + 10_000.0
+                )
                 span = ps.last_us - ps.first_us
                 if span > bound:
                     violations.append(

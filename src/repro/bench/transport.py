@@ -1,0 +1,147 @@
+"""Adaptive-vs-static transport benchmark (ISSUE 5 acceptance).
+
+Runs the chaos workloads under the ``sustained_loss`` schedule twice —
+once with the paper-faithful :class:`~repro.transport.retransmit.StaticPolicy`
+and once with :class:`~repro.transport.adaptive.AdaptivePolicy` — and
+pools spurious-retransmit counts and end-to-end latencies across the
+whole sweep.  The exported ``BENCH_transport.json`` (``soda.bench/1``)
+carries the per-policy aggregates plus a ``comparison`` verdict: the
+adaptive policy must beat the static one on *both* the pooled
+spurious-retransmit count and the pooled p99 transaction latency.
+
+Everything is seed-deterministic, so the snapshot can be diffed commit
+to commit like the other ``BENCH_*`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.workloads import build_workload
+from repro.chaos.liveness import percentile
+from repro.chaos.runner import chaos_config, make_schedule
+from repro.chaos.scenario import GRACE_US
+from repro.obs.spans import build_spans
+from repro.transport.adaptive import AdaptivePolicy
+from repro.transport.retransmit import RetransmitPolicy, StaticPolicy
+
+#: Workloads pooled into the comparison.  ``cancel`` is omitted: its
+#: only judged span is a withdrawal, contributing no latency signal.
+BENCH_WORKLOADS = (
+    "echo",
+    "stream",
+    "queued",
+    "busy",
+    "signal",
+    "supervised",
+)
+
+BENCH_SCHEDULE = "sustained_loss"
+
+
+def _run_one(
+    policy: RetransmitPolicy, workload: str, seed: int
+) -> Dict[str, object]:
+    built = build_workload(
+        workload, seed=seed, config=chaos_config(policy)
+    )
+    scenario = make_schedule(BENCH_SCHEDULE, built.spec)
+    scenario.apply(built)
+    horizon = max(
+        built.spec.until_us, scenario.last_action_us + 2 * GRACE_US
+    )
+    built.net.run(until=horizon)
+    records = built.net.sim.trace.records
+    spans = build_spans(records)
+    latencies = [
+        span.latency_us
+        for span in spans
+        if span.completed
+        and span.latency_us is not None
+        and not span.is_discover
+    ]
+    return {
+        "workload": workload,
+        "seed": seed,
+        "spurious_retransmits": sum(
+            1
+            for rec in records
+            if rec.category == "conn.spurious_retransmit"
+        ),
+        "retransmits": sum(
+            1 for rec in records if rec.category == "conn.retransmit"
+        ),
+        "sheds": sum(
+            1 for rec in records if rec.category == "kernel.shed"
+        ),
+        "completed": len(latencies),
+        "latencies_us": latencies,
+    }
+
+
+def _aggregate(cells: List[Dict[str, object]]) -> Dict[str, object]:
+    latencies: List[float] = []
+    for cell in cells:
+        latencies.extend(cell["latencies_us"])  # type: ignore[arg-type]
+    summary: Dict[str, object] = {
+        "spurious_retransmits": sum(
+            cell["spurious_retransmits"] for cell in cells
+        ),
+        "retransmits": sum(cell["retransmits"] for cell in cells),
+        "sheds": sum(cell["sheds"] for cell in cells),
+        "completed": len(latencies),
+        "p50_latency_us": (
+            percentile(latencies, 0.50) if latencies else None
+        ),
+        "p99_latency_us": (
+            percentile(latencies, 0.99) if latencies else None
+        ),
+    }
+    return summary
+
+
+def run_transport_bench(
+    seeds: Sequence[int] = (1,),
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """The ``BENCH_transport.json`` body: per-policy sweeps + verdict."""
+    workload_names = tuple(workloads) if workloads else BENCH_WORKLOADS
+    policies = {
+        "static": StaticPolicy(),
+        "adaptive": AdaptivePolicy(),
+    }
+    body: Dict[str, object] = {
+        "schedule": BENCH_SCHEDULE,
+        "workloads": list(workload_names),
+        "seeds": list(seeds),
+    }
+    aggregates: Dict[str, Dict[str, object]] = {}
+    for name, policy in policies.items():
+        cells = [
+            _run_one(policy, workload, seed)
+            for seed in seeds
+            for workload in workload_names
+        ]
+        aggregates[name] = _aggregate(cells)
+        for cell in cells:
+            # Raw latency lists are bulky and derivable; keep the
+            # per-cell summary slim.
+            cell.pop("latencies_us")
+        body[name] = {"cells": cells, "summary": aggregates[name]}
+    static, adaptive = aggregates["static"], aggregates["adaptive"]
+    body["comparison"] = {
+        "adaptive_beats_static_spurious": (
+            adaptive["spurious_retransmits"]
+            < static["spurious_retransmits"]
+        ),
+        "adaptive_beats_static_p99": (
+            static["p99_latency_us"] is not None
+            and adaptive["p99_latency_us"] is not None
+            and adaptive["p99_latency_us"] < static["p99_latency_us"]
+        ),
+        "policy_knobs": {
+            "static": StaticPolicy().as_dict(),
+            "adaptive": AdaptivePolicy().as_dict(),
+        },
+    }
+    return body

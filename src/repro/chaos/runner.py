@@ -33,11 +33,19 @@ from repro.chaos.scenario import (
     Reboot,
     Scenario,
     TargetedDrop,
+    ThunderingHerd,
 )
-from repro.chaos.liveness import check_liveness
+from repro.chaos.liveness import (
+    DegradationBounds,
+    check_degradation,
+    check_liveness,
+)
+from repro.core.config import KernelConfig
 from repro.obs.export import snapshot_payload
 from repro.obs.spans import build_spans
 from repro.recovery.convergence import check_self_heal, recovery_summary
+from repro.transport.adaptive import AdaptivePolicy, deltat_for_policy
+from repro.transport.retransmit import RetransmitPolicy
 
 
 def _server_role(spec: WorkloadSpec) -> str:
@@ -151,6 +159,27 @@ def _crash_load(spec: WorkloadSpec) -> Scenario:
     )
 
 
+def _sustained_loss(spec: WorkloadSpec) -> Scenario:
+    # The degradation tentpole: a 30% loss *plateau* held for three
+    # seconds.  Not a burst to survive but a steady state to serve
+    # through — the schedule the adaptive-vs-static transport benchmark
+    # (repro.bench.transport) runs under.
+    return Scenario(
+        "sustained_loss",
+        (LossWindow(0.0, 3_000_000.0, loss=0.30),),
+    )
+
+
+def _thundering_herd(spec: WorkloadSpec) -> Scenario:
+    # N clones of the client role hammer the one server from t=10ms;
+    # exercises BUSY parking, the widened retry hints, and the kernel
+    # overload controller's OVERLOAD shed path.
+    return Scenario(
+        "thundering_herd",
+        (ThunderingHerd(10_000.0, role=_client_role(spec), clones=6),),
+    )
+
+
 def _flap(spec: WorkloadSpec) -> Scenario:
     # Flapping node: die, get healed (supervisor), die again — forcing
     # two full supervision cycles.  For unsupervised workloads the
@@ -177,11 +206,56 @@ SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "crash_idle": _crash_idle,
     "crash_load": _crash_load,
     "flap": _flap,
+    "sustained_loss": _sustained_loss,
+    "thundering_herd": _thundering_herd,
 }
 
 #: The recovery schedules judged by the self-heal check (plus every
 #: other schedule: the check runs on all cells of supervised workloads).
 RECOVERY_SCHEDULES = ("crash_idle", "crash_load", "flap")
+
+#: Per-schedule service-level bounds for the degradation verdict
+#: (repro.chaos.liveness.check_degradation).  Degradation schedules get
+#: real floors — "keep serving while faulted" — while crash/partition
+#: schedules, whose *point* is failed transactions, keep only a token
+#: floor (their correctness is judged by safety + liveness + self-heal).
+DEGRADATION_BOUNDS: Dict[str, DegradationBounds] = {
+    "calm": DegradationBounds(goodput_floor=0.95, p99_latency_us=2_000_000.0),
+    "strike": DegradationBounds(goodput_floor=0.85, p99_latency_us=2_500_000.0),
+    "lossy": DegradationBounds(goodput_floor=0.5, p99_latency_us=3_000_000.0),
+    "sustained_loss": DegradationBounds(
+        goodput_floor=0.4, p99_latency_us=3_000_000.0
+    ),
+    "thundering_herd": DegradationBounds(
+        goodput_floor=0.5, p99_latency_us=3_000_000.0
+    ),
+    "partition": DegradationBounds(goodput_floor=0.0),
+    "client_flap": DegradationBounds(goodput_floor=0.0),
+    "server_flap": DegradationBounds(goodput_floor=0.0),
+    "server_crash": DegradationBounds(goodput_floor=0.0),
+    "crash_idle": DegradationBounds(goodput_floor=0.0),
+    "crash_load": DegradationBounds(goodput_floor=0.0),
+    "flap": DegradationBounds(goodput_floor=0.0),
+}
+
+#: Bounds applied to ad-hoc scenarios (shrinker reproducers).
+DEFAULT_DEGRADATION_BOUNDS = DegradationBounds(goodput_floor=0.0)
+
+
+def chaos_config(
+    policy: Optional[RetransmitPolicy] = None,
+) -> KernelConfig:
+    """The kernel configuration chaos cells run under.
+
+    The adaptive policy is the chaos/soak default (ISSUE 5); the static
+    paper-faithful policy stays the default everywhere else.  Delta-t's
+    ``R`` is harmonized with the policy's true retry window either way
+    (the §5.2.2 consistency condition).
+    """
+    policy = policy if policy is not None else AdaptivePolicy()
+    return KernelConfig(
+        retransmit=policy, deltat=deltat_for_policy(policy)
+    )
 
 
 @dataclass
@@ -195,6 +269,7 @@ class CellResult:
     invariant_violations: List[str] = field(default_factory=list)
     liveness_problems: List[str] = field(default_factory=list)
     selfheal_problems: List[str] = field(default_factory=list)
+    degradation_problems: List[str] = field(default_factory=list)
     spans_by_status: Dict[str, int] = field(default_factory=dict)
     faults: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, object] = field(default_factory=dict)
@@ -206,6 +281,7 @@ class CellResult:
             not self.invariant_violations
             and not self.liveness_problems
             and not self.selfheal_problems
+            and not self.degradation_problems
         )
 
     @property
@@ -222,6 +298,7 @@ class CellResult:
             "invariant_violations": list(self.invariant_violations),
             "liveness_problems": list(self.liveness_problems),
             "selfheal_problems": list(self.selfheal_problems),
+            "degradation_problems": list(self.degradation_problems),
             "spans_by_status": dict(sorted(self.spans_by_status.items())),
             "faults": dict(sorted(self.faults.items())),
             "recovery": self.recovery,
@@ -245,10 +322,12 @@ def run_cell(
     schedule: str,
     seed: int,
     scenario: Optional[Scenario] = None,
+    policy: Optional[RetransmitPolicy] = None,
 ) -> CellResult:
     """Run one chaos cell; ``scenario`` overrides the named schedule
-    (used by the shrinker and by checked-in reproducers)."""
-    built = build_workload(workload, seed=seed)
+    (used by the shrinker and by checked-in reproducers), ``policy``
+    overrides the adaptive default (used by the transport benchmark)."""
+    built = build_workload(workload, seed=seed, config=chaos_config(policy))
     spec = built.spec
     if scenario is None:
         scenario = make_schedule(schedule, spec)
@@ -261,6 +340,11 @@ def run_cell(
     spans = build_spans(net.sim.trace.records)
     problems = check_liveness(net, spans=spans)
     selfheal = check_self_heal(built, scenario.last_action_us)
+    degradation = check_degradation(
+        spans,
+        horizon,
+        DEGRADATION_BOUNDS.get(schedule, DEFAULT_DEGRADATION_BOUNDS),
+    )
 
     by_status: Dict[str, int] = {}
     for span in spans:
@@ -274,6 +358,7 @@ def run_cell(
         invariant_violations=[v.format() for v in violations],
         liveness_problems=problems,
         selfheal_problems=selfheal,
+        degradation_problems=degradation,
         recovery=recovery_summary(net.sim.trace.records),
         spans_by_status=by_status,
         faults={

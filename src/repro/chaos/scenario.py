@@ -194,8 +194,46 @@ class Reboot:
         built.net.sim.at(self.at_us, fire)
 
 
+@dataclass(frozen=True)
+class ThunderingHerd:
+    """Clone a role's program onto ``clones`` extra nodes at once.
+
+    The clones boot together at ``at_us`` (staggered by ``stagger_us``
+    each so their boot traffic does not serialize into lockstep) and run
+    the same program factory as the named role — N clients hammering the
+    one server.  This is a *load* fault, not a failure: it exercises the
+    kernel's BUSY/overload admission path rather than its crash paths.
+
+    Clone nodes get fresh auto-assigned MIDs above the workload's roles;
+    they are not part of the spec, so role-addressed actions (Reboot,
+    ClientDie) never touch them.
+    """
+
+    at_us: float
+    role: str
+    clones: int = 6
+    stagger_us: float = 400.0
+
+    def apply(self, built: BuiltWorkload) -> None:
+        role = built.role_for(built.mid_of(self.role))
+        # Nodes must exist before the run starts (the bus delivers only
+        # to registered nodes); the *boot* is what fires at at_us.
+        for i in range(self.clones):
+            built.net.add_node(
+                program=role.factory(),
+                name=f"{self.role}-herd{i}",
+                boot_at_us=self.at_us + i * self.stagger_us,
+            )
+
+
 Action = Union[
-    LossWindow, Partition, TargetedDrop, ClientDie, NodeCrash, Reboot
+    LossWindow,
+    Partition,
+    TargetedDrop,
+    ClientDie,
+    NodeCrash,
+    Reboot,
+    ThunderingHerd,
 ]
 
 #: Action classes, exported for reproducer scripts.
@@ -206,6 +244,7 @@ ACTION_TYPES: Tuple[type, ...] = (
     ClientDie,
     NodeCrash,
     Reboot,
+    ThunderingHerd,
 )
 
 

@@ -1,4 +1,4 @@
-"""Buffers: descriptors for regions of client memory (§3.1).
+"""Buffers and kernel input-side occupancy (§3.1, §5.2.3).
 
 A SODA BUFFER is "a descriptor that indicates the size and location of a
 contiguous region of shared memory".  In the simulation a buffer owns its
@@ -6,11 +6,87 @@ bytes; the kernel writes into GET buffers on completion and reads PUT
 bytes at REQUEST/ACCEPT time.  A zero-capacity buffer (``Buffer.nil()``)
 inhibits transfer in that direction, turning a REQUEST into a PUT, GET,
 EXCHANGE, or SIGNAL (§3.3.2).
+
+This module also hosts the kernel's **overload controller**: the paper's
+only admission mechanism is the single-message BUSY NACK, which protects
+the *handler* but not the *kernel* — a machine whose input side is
+saturated (deep CPU backlog, a full completion queue, a held REQUEST)
+keeps paying full protocol cost per arrival.  :class:`OverloadController`
+watches that occupancy and, above a watermark, (a) widens the BUSY
+retry hint so clients decay their retry rate faster, and (b) directs the
+kernel to reject *new* REQUESTs outright with an ``OVERLOAD`` NACK — a
+proof of non-execution the requester may retry safely (docs/TRANSPORT.md,
+docs/RECOVERY.md).  Hysteresis (distinct shed/resume watermarks) keeps
+the controller from oscillating at the boundary.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs for the kernel-side overload controller, in microseconds."""
+
+    #: Master switch; disabled keeps the paper-faithful behavior where
+    #: admission control is the BUSY NACK alone.
+    enabled: bool = True
+    #: Shed when CPU backlog (work already accepted but not yet run)
+    #: exceeds this...
+    shed_backlog_us: float = 12_000.0
+    #: ...and resume admitting only once it has drained below this
+    #: (hysteresis: resume < shed).
+    resume_backlog_us: float = 4_000.0
+    #: Queue contribution: each queued completion interrupt / held
+    #: REQUEST counts as this much equivalent backlog.
+    queue_item_cost_us: float = 3_000.0
+    #: Start widening BUSY retry hints once occupancy exceeds this —
+    #: well below the shed point, so hint-based load spreading engages
+    #: before admission control has to.
+    hint_backlog_us: float = 2_000.0
+    #: BUSY retry-hint widening under load: hint = busy_retry_base *
+    #: hint_widen * (1 + backlog/shed_backlog), capped at max_hint_us.
+    hint_widen_factor: float = 4.0
+    max_hint_us: float = 50_000.0
+
+
+class OverloadController:
+    """Tracks input-side occupancy and decides shed/admit per arrival."""
+
+    __slots__ = ("config", "shedding", "sheds", "last_occupancy_us")
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self.shedding = False
+        self.sheds = 0
+        self.last_occupancy_us = 0.0
+
+    def observe(self, occupancy_us: float) -> bool:
+        """Feed the current occupancy; returns True while shedding."""
+        self.last_occupancy_us = occupancy_us
+        if not self.config.enabled:
+            self.shedding = False
+        elif self.shedding:
+            self.shedding = occupancy_us > self.config.resume_backlog_us
+        else:
+            self.shedding = occupancy_us > self.config.shed_backlog_us
+        return self.shedding
+
+    def retry_hint_us(self, busy_retry_base_us: float) -> Optional[float]:
+        """Widened BUSY retry hint, or None when the kernel is calm."""
+        if not self.config.enabled or self.last_occupancy_us <= 0.0:
+            return None
+        if (
+            not self.shedding
+            and self.last_occupancy_us <= self.config.hint_backlog_us
+        ):
+            # Calm enough: let the client's own decaying rate govern.
+            return None
+        widen = 1.0 + self.last_occupancy_us / self.config.shed_backlog_us
+        hint = busy_retry_base_us * self.config.hint_widen_factor * widen
+        return min(hint, self.config.max_hint_us)
 
 
 class Buffer:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.buffers import OverloadConfig
 from repro.transport.deltat import DeltaTConfig
 from repro.transport.retransmit import RetransmitPolicy
 
@@ -151,6 +152,7 @@ class KernelConfig:
     timing: TimingModel = field(default_factory=TimingModel)
     deltat: DeltaTConfig = field(default_factory=DeltaTConfig)
     retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
 
     def __post_init__(self) -> None:
         if self.max_requests < 1:

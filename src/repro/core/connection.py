@@ -23,8 +23,8 @@ kernel's business, expressed through the callbacks on each
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Tuple
 
 from repro.transport.deltat import DeltaTRecord
 from repro.transport.packet import NackCode, Packet, PacketType
@@ -74,7 +74,12 @@ class Connection:
         self.outstanding: Optional[OutboundMessage] = None
         self.outbox: Deque[OutboundMessage] = deque()
         self.recv_record = DeltaTRecord(kernel.config.deltat)
+        #: Per-connection estimator state (None under the static policy).
+        self.estimator = kernel.config.retransmit.make_estimator()
         self.owed_ack: Optional[int] = None
+        #: Transmission timestamp of the message the owed ack answers,
+        #: echoed back so the sender can spot spurious retransmissions.
+        self.owed_ack_tx_us: Optional[float] = None
         self._ack_timer = None
         self._retransmit_timer = None
         self._busy_timer = None
@@ -82,6 +87,16 @@ class Connection:
         #: "server crashed" from "no such machine" on retry exhaustion.
         self.heard_from_peer = False
         self.declared_dead = False
+        #: After declaring the peer dead, the next sequenced message
+        #: opens a *new* connection (Delta-t's connection_open header
+        #: bit cleared): the receiver must not judge its alternating bit
+        #: against the dead conversation's record.
+        self.resync_next = False
+        #: Receive side of the same mechanism: the packet identity whose
+        #: cleared open-bit we already honored.  Retransmissions keep
+        #: their packet_id, so a redelivered first-message copy cannot
+        #: reset the record a second time (at-most-once).
+        self._resync_pid: Optional[int] = None
 
     # ------------------------------------------------------------------
     # send direction
@@ -128,6 +143,7 @@ class Connection:
         self.outbox.appendleft(parked)
         self.outstanding = message
         message.packet.seq = self.send_seq
+        self._mark_resync(message)
         if message.on_transmit is not None:
             message.on_transmit()
         self._transmit(message, first=True)
@@ -139,6 +155,7 @@ class Connection:
                 continue
             self.outstanding = message
             message.packet.seq = self.send_seq
+            self._mark_resync(message)
             if message.on_transmit is not None:
                 message.on_transmit()
             # Defer the actual transmission one event: when the pump runs
@@ -147,6 +164,12 @@ class Connection:
             # sequence number we will owe an ack for — must be processed
             # first so the ack can piggyback on this transmission.
             self.sim.schedule(0.0, self._transmit_fresh, message)
+
+    def _mark_resync(self, message: OutboundMessage) -> None:
+        """Clear the open bit on the first message after a peer death."""
+        if self.resync_next:
+            message.packet.connection_open = False
+            self.resync_next = False
 
     def _transmit_fresh(self, message: OutboundMessage) -> None:
         if self.outstanding is not message:
@@ -158,27 +181,30 @@ class Connection:
         include_data = packet.data is not None and (
             not message.data_once or not message.transmitted_with_data
         )
-        send_packet = packet if include_data else self._strip_data(packet)
+        # Retransmissions always go out as a fresh copy: an earlier copy
+        # may still sit un-processed in the receiver's input queue, and
+        # mutating a shared object would rewrite its tx_us/ack fields in
+        # flight.  The first transmission has no earlier copy.
+        if first and include_data:
+            send_packet = packet
+        else:
+            send_packet = replace(
+                packet,
+                data=packet.data if include_data else None,
+                packet_id=packet.packet_id,
+            )
         if include_data and packet.data is not None:
             message.transmitted_with_data = True
         message.attempts += 1
         message.last_tx_us = self.sim.now
+        send_packet.tx_us = self.sim.now
         # Piggyback any owed acknowledgement.
-        ack = self.take_piggyback_ack()
-        if ack is not None:
-            send_packet.ack = ack
+        self.attach_piggyback(send_packet)
         copy_bytes = send_packet.data_bytes if first and include_data else 0
         self.kernel.transmit_packet(
             self.peer_mid, send_packet, copy_bytes=copy_bytes, sequenced=True
         )
         self._arm_retransmit(message)
-
-    @staticmethod
-    def _strip_data(packet: Packet) -> Packet:
-        """A retransmission copy without the data payload."""
-        from dataclasses import replace
-
-        return replace(packet, data=None, packet_id=packet.packet_id)
 
     def _arm_retransmit(self, message: OutboundMessage) -> None:
         self._cancel_timer("_retransmit_timer")
@@ -187,6 +213,7 @@ class Connection:
             message.attempts,
             self.sim.rng.stream(f"rexmit.{self.kernel.mid}"),
             data_bytes=message.packet.data_bytes,
+            estimator=self.estimator,
         )
         self._retransmit_timer = self.sim.schedule(
             delay, self._retransmit_fire, message
@@ -208,10 +235,18 @@ class Connection:
             kind=message.kind,
             attempt=message.attempts,
         )
+        if self.estimator is not None:
+            self.estimator.back_off(
+                getattr(policy, "backoff_growth", 2.0)
+            )
         self._transmit(message, first=False)
 
     def _declare_dead(self, message: OutboundMessage) -> None:
         self.declared_dead = True
+        # The conversation is over; whatever we send next must not be
+        # judged against its alternating-bit state at the receiver
+        # (which, under a long Delta-t R, can outlive the death).
+        self.resync_next = True
         self.sim.trace.record(
             self.sim.now,
             "conn.peer_dead",
@@ -232,8 +267,19 @@ class Connection:
 
     # -- acknowledgements -------------------------------------------------
 
-    def handle_ack(self, ack_seq: int) -> None:
-        """Process an acknowledgement (pure or piggybacked)."""
+    def handle_ack(
+        self,
+        ack_seq: int,
+        echo_tx_us: Optional[float] = None,
+        implicit: bool = False,
+    ) -> None:
+        """Process an acknowledgement (pure or piggybacked).
+
+        ``echo_tx_us`` is the transmission timestamp the receiver echoed
+        back (the copy this ack answers); ``implicit`` marks a
+        synthesized ack (an ACCEPT proving delivery), whose timing says
+        nothing about the wire and must not feed the estimator.
+        """
         message = self.outstanding
         if message is None or message.packet.seq != ack_seq:
             return  # stale or duplicate ack
@@ -241,6 +287,31 @@ class Connection:
         self._cancel_timer("_retransmit_timer")
         self._cancel_timer("_busy_timer")
         self.send_seq = 1 - self.send_seq
+        rtt_us = self.sim.now - message.last_tx_us
+        # Eifel-style spurious-retransmit detection: the echoed
+        # timestamp names the copy the receiver acknowledged; an echo
+        # older than our last transmission means that retransmission
+        # answered nothing — the original (or its ack) was merely slow.
+        if (
+            message.attempts > 1
+            and echo_tx_us is not None
+            and echo_tx_us < message.last_tx_us
+        ):
+            self.sim.trace.record(
+                self.sim.now,
+                "conn.spurious_retransmit",
+                mid=self.kernel.mid,
+                peer=self.peer_mid,
+                kind=message.kind,
+                attempts=message.attempts,
+            )
+        # Karn's rule: only a message that was never retransmitted
+        # yields an unambiguous RTT sample.
+        sampled = (
+            not implicit and message.attempts == 1 and self.estimator is not None
+        )
+        if sampled:
+            self.estimator.sample(rtt_us)
         # The obs layer's per-message RTT sample: time from the last
         # (re)transmission to the acknowledgement that released the
         # channel, including kernel-CPU queueing at both ends.
@@ -251,14 +322,30 @@ class Connection:
             peer=self.peer_mid,
             kind=message.kind,
             attempts=message.attempts,
-            rtt_us=self.sim.now - message.last_tx_us,
+            rtt_us=rtt_us,
+            policy=self.kernel.config.retransmit.kind,
+            sampled=sampled,
+            srtt_us=(
+                self.estimator.srtt_us if self.estimator is not None else None
+            ),
+            rttvar_us=(
+                self.estimator.rttvar_us
+                if self.estimator is not None
+                else None
+            ),
         )
         if message.on_acked is not None:
             message.on_acked()
         self._pump()
 
-    def handle_busy_nack(self, nacked_seq: int) -> None:
-        """The peer's handler was BUSY; retry at the decaying slow rate."""
+    def handle_busy_nack(
+        self, nacked_seq: int, retry_hint_us: Optional[float] = None
+    ) -> None:
+        """The peer's handler was BUSY; retry at the decaying slow rate.
+
+        ``retry_hint_us`` is the server's hint: never retry sooner than
+        this (an overloaded kernel widens it to shed load).
+        """
         message = self.outstanding
         if message is None or message.packet.seq != nacked_seq:
             return
@@ -277,6 +364,8 @@ class Connection:
         delay = policy.busy_retry_delay(
             message.busy_attempts, self.sim.rng.stream(f"busy.{self.kernel.mid}")
         )
+        if retry_hint_us is not None:
+            delay = max(delay, retry_hint_us)
         self._busy_timer = self.sim.schedule(delay, self._busy_fire, message)
         if self.outbox and self.outbox[0].priority:
             # A priority message (ACCEPT data pull) is waiting behind this
@@ -305,14 +394,36 @@ class Connection:
         self.declared_dead = False
         self.recv_record.heard(self.sim.now)
 
+    def _resync_applies(self, packet: Packet) -> bool:
+        return (
+            not packet.connection_open
+            and packet.packet_id != self._resync_pid
+        )
+
     def classify_sequenced(self, packet: Packet) -> str:
         """'new' or 'duplicate' under the Delta-t record."""
         assert packet.seq is not None
+        if self._resync_applies(packet):
+            # First message of a new connection (sender declared us, or
+            # a conversation with us, dead and gave up on the old one):
+            # the old record's alternating-bit state no longer applies.
+            self._resync_pid = packet.packet_id
+            self.recv_record.destroy()
+            self.sim.trace.record(
+                self.sim.now,
+                "conn.resync",
+                mid=self.kernel.mid,
+                peer=self.peer_mid,
+                pid=packet.packet_id,
+                seq=packet.seq,
+            )
         return self.recv_record.classify(packet.seq, self.sim.now)
 
     def peek_sequenced(self, packet: Packet) -> str:
         """Verdict without consuming the sequence number."""
         assert packet.seq is not None
+        if self._resync_applies(packet):
+            return "new"
         return self.recv_record.peek(packet.seq, self.sim.now)
 
     def rollback_sequenced(self, packet: Packet) -> None:
@@ -320,9 +431,14 @@ class Connection:
         assert packet.seq is not None
         self.recv_record.expected_seq = packet.seq
 
-    def note_owed_ack(self, seq: int) -> None:
-        """We owe the peer an ack for ``seq``; defer hoping to piggyback."""
+    def note_owed_ack(self, seq: int, tx_us: Optional[float] = None) -> None:
+        """We owe the peer an ack for ``seq``; defer hoping to piggyback.
+
+        ``tx_us`` is the transmission timestamp the acknowledged copy
+        carried; it is echoed back on the ack (see ``Packet.echo_tx_us``).
+        """
         self.owed_ack = seq
+        self.owed_ack_tx_us = tx_us
         self._cancel_timer("_ack_timer")
         self._ack_timer = self.sim.schedule(
             self.kernel.config.timing.ack_defer_us, self._ack_timer_fire
@@ -337,16 +453,25 @@ class Connection:
         """
         self._cancel_timer("_ack_timer")
 
-    def take_piggyback_ack(self) -> Optional[int]:
+    def take_piggyback_ack(self) -> Optional[Tuple[int, Optional[float]]]:
+        """Claim the owed ack (and its echo timestamp), if any."""
         if self.owed_ack is None:
             return None
         ack, self.owed_ack = self.owed_ack, None
+        tx_us, self.owed_ack_tx_us = self.owed_ack_tx_us, None
         self._cancel_timer("_ack_timer")
-        return ack
+        return ack, tx_us
+
+    def attach_piggyback(self, packet: Packet) -> None:
+        """Attach the owed ack (if any) to an outgoing packet."""
+        owed = self.take_piggyback_ack()
+        if owed is not None:
+            packet.ack, packet.echo_tx_us = owed
 
     def forget_owed_ack(self, seq: int) -> None:
         if self.owed_ack == seq:
             self.owed_ack = None
+            self.owed_ack_tx_us = None
             self._cancel_timer("_ack_timer")
 
     def _ack_timer_fire(self) -> None:
@@ -354,14 +479,21 @@ class Connection:
         if self.owed_ack is None:
             return
         ack, self.owed_ack = self.owed_ack, None
+        tx_us, self.owed_ack_tx_us = self.owed_ack_tx_us, None
         self.kernel.transmit_packet(
-            self.peer_mid, Packet(PacketType.ACK, ack=ack), sequenced=False
+            self.peer_mid,
+            Packet(PacketType.ACK, ack=ack, echo_tx_us=tx_us),
+            sequenced=False,
         )
 
-    def send_immediate_ack(self, seq: int) -> None:
+    def send_immediate_ack(
+        self, seq: int, echo_tx_us: Optional[float] = None
+    ) -> None:
         """Re-acknowledge a duplicate right away (no deferral)."""
         self.kernel.transmit_packet(
-            self.peer_mid, Packet(PacketType.ACK, ack=seq), sequenced=False
+            self.peer_mid,
+            Packet(PacketType.ACK, ack=seq, echo_tx_us=echo_tx_us),
+            sequenced=False,
         )
 
     def send_nack(
@@ -371,14 +503,19 @@ class Connection:
         tid: Optional[int] = None,
         nacked_seq: Optional[int] = None,
         ack: Optional[int] = None,
+        retry_hint_us: Optional[float] = None,
     ) -> None:
         packet = Packet(
             PacketType.NACK,
             nack_code=code,
             tid=tid,
             nacked_seq=nacked_seq,
-            ack=ack if ack is not None else self.take_piggyback_ack(),
+            retry_hint_us=retry_hint_us,
         )
+        if ack is not None:
+            packet.ack = ack
+        else:
+            self.attach_piggyback(packet)
         self.kernel.transmit_packet(self.peer_mid, packet, sequenced=False)
 
     # ------------------------------------------------------------------
@@ -390,10 +527,14 @@ class Connection:
         self.outstanding = None
         self.outbox.clear()
         self.owed_ack = None
+        self.owed_ack_tx_us = None
+        self.estimator = self.kernel.config.retransmit.make_estimator()
         self.recv_record.destroy()
         self.send_seq = 0
         self.declared_dead = False
         self.heard_from_peer = False
+        self.resync_next = False
+        self._resync_pid = None
 
     def _cancel_timer(self, name: str) -> None:
         timer = getattr(self, name)

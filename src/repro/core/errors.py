@@ -11,6 +11,8 @@ class RequestStatus(enum.Enum):
     COMPLETED = "completed"        # the server ACCEPTed
     CRASHED = "crashed"            # server crashed / died before ACCEPT
     UNADVERTISED = "unadvertised"  # pattern not advertised (or no such node)
+    OVERLOADED = "overloaded"      # server kernel shed the REQUEST before
+                                   # delivery (proof of non-execution)
     REJECTED = "rejected"          # SODAL-level: ACCEPT with arg = -1, no data
 
 

@@ -35,7 +35,7 @@ from repro.core.boot import (
     pattern_from_bytes,
     pattern_to_bytes,
 )
-from repro.core.buffers import Buffer
+from repro.core.buffers import Buffer, OverloadController
 from repro.core.client import ClientProcessor, HandlerEvent
 from repro.core.config import KernelConfig
 from repro.core.connection import Connection, OutboundMessage
@@ -115,6 +115,12 @@ class DeliveredRequest:
     get_size: int
     put_data: Optional[bytes]
     state: DeliveredState = DeliveredState.DELIVERED
+    #: The ACCEPT that would have informed the requester exhausted its
+    #: retransmissions (peer declared dead).  The outcome can no longer
+    #: be delivered, so probe replies must stop vouching for this
+    #: transaction — else a requester behind a healed partition probes
+    #: an answer that will never come, forever.
+    reply_dead: bool = False
 
 
 @dataclass
@@ -213,6 +219,10 @@ class SodaKernel:
         # node liveness
         self.offline_until: Optional[float] = None
         self._busy_until = 0.0
+
+        # input-side admission control (docs/TRANSPORT.md)
+        self.overload = OverloadController(self.config.overload)
+        self._arrival_backlog_us = 0.0
 
     # ==================================================================
     # small helpers
@@ -326,15 +336,23 @@ class SodaKernel:
             "protocol": tm.protocol_recv_us + tm.copy_cost_us(packet.data_bytes),
             "connection_timers": tm.connection_timer_us,
         }
-        self._kernel_work(charges, self._process_packet, frame.src, packet)
+        # Input-buffer occupancy is judged at *arrival*: the backlog
+        # this frame is about to wait behind.  By processing time that
+        # backlog has drained by definition, which would blind the
+        # overload controller to exactly the congestion it exists for.
+        backlog = max(0.0, self._busy_until - self.sim.now)
+        self._kernel_work(charges, self._process_packet, frame.src, packet, backlog)
 
     # ==================================================================
     # packet dispatch
     # ==================================================================
 
-    def _process_packet(self, src: int, packet: Packet) -> None:
+    def _process_packet(
+        self, src: int, packet: Packet, arrival_backlog_us: float = 0.0
+    ) -> None:
         if self.offline_until is not None:
             return
+        self._arrival_backlog_us = arrival_backlog_us
         self.sim.trace.record(
             self.sim.now,
             "kernel.rx",
@@ -346,6 +364,9 @@ class SodaKernel:
             tid=packet.tid,
             ack=packet.ack,
             nack=packet.nack_code.value if packet.nack_code else None,
+            # Retry hint as *received* — sodalint rule SODA007 binds a
+            # client only to hints that actually reached it.
+            hint=packet.retry_hint_us,
         )
         conn = self._conn(src)
         conn.note_heard()
@@ -357,10 +378,10 @@ class SodaKernel:
             # CRASHED, not SUCCESS-by-ack).
             self._handle_nack(src, packet, conn)
             if packet.ack is not None:
-                conn.handle_ack(packet.ack)
+                conn.handle_ack(packet.ack, echo_tx_us=packet.echo_tx_us)
             return
         if packet.ack is not None:
-            conn.handle_ack(packet.ack)
+            conn.handle_ack(packet.ack, echo_tx_us=packet.echo_tx_us)
 
         if ptype is PacketType.ACK:
             return
@@ -389,9 +410,9 @@ class SodaKernel:
         """Consume a sequenced packet; False for duplicates (re-acked)."""
         verdict = conn.classify_sequenced(packet)
         if verdict == "duplicate":
-            conn.send_immediate_ack(packet.seq)
+            conn.send_immediate_ack(packet.seq, echo_tx_us=packet.tx_us)
             return False
-        conn.note_owed_ack(packet.seq)
+        conn.note_owed_ack(packet.seq, tx_us=packet.tx_us)
         return True
 
     # ------------------------------------------------------------------
@@ -401,7 +422,24 @@ class SodaKernel:
     def _handle_nack(self, src: int, packet: Packet, conn: Connection) -> None:
         code = packet.nack_code
         if code is NackCode.BUSY:
-            conn.handle_busy_nack(packet.nacked_seq)
+            conn.handle_busy_nack(
+                packet.nacked_seq, retry_hint_us=packet.retry_hint_us
+            )
+            return
+        if code is NackCode.OVERLOAD:
+            # The server's kernel shed the REQUEST before delivery: a
+            # proof of non-execution, so recovery's retry wrapper may
+            # re-issue it without the MAYBE path.  Not a crash — no
+            # kernel.crash_report — the peer is alive, just saturated.
+            record = self.requests.get(packet.tid)
+            if record is not None and record.open:
+                self._complete_request_failure(
+                    record,
+                    RequestStatus.OVERLOADED,
+                    reason="nack_overload",
+                    not_executed=True,
+                    crash_report=False,
+                )
             return
         if code is NackCode.UNADVERTISED:
             record = self.requests.get(packet.tid)
@@ -439,7 +477,7 @@ class SodaKernel:
         # NACKing it would convince the requester its (delivered!)
         # request never arrived and wedge the channel.
         if conn.peek_sequenced(packet) == "duplicate":
-            conn.send_immediate_ack(packet.seq)
+            conn.send_immediate_ack(packet.seq, echo_tx_us=packet.tx_us)
             return
         pattern = packet.pattern
         if is_reserved(pattern):
@@ -449,6 +487,23 @@ class SodaKernel:
         if not self.patterns.matches(pattern):
             if self._accept_sequenced(conn, packet):
                 conn.send_nack(NackCode.UNADVERTISED, tid=packet.tid)
+            return
+        # Overload admission: the BUSY NACK protects the *handler*; the
+        # overload controller protects the *kernel*.  Reserved patterns
+        # (BOOT/LOAD/KILL/SYSTEM) were dispatched above and are exempt —
+        # shedding the recovery path under load would be self-defeating.
+        if self.overload.observe(self._input_occupancy_us()):
+            if self._accept_sequenced(conn, packet):
+                self.sim.trace.record(
+                    self.sim.now,
+                    "kernel.shed",
+                    mid=self.mid,
+                    src=src,
+                    tid=packet.tid,
+                    occupancy_us=self.overload.last_occupancy_us,
+                )
+                self.overload.sheds += 1
+                conn.send_nack(NackCode.OVERLOAD, tid=packet.tid)
             return
         # A client pattern: delivery depends on the handler state.
         if self._handler_eligible_for_arrival():
@@ -468,11 +523,30 @@ class SodaKernel:
                 self.sim.now, "kernel.hold", mid=self.mid, src=src, tid=packet.tid
             )
         else:
-            conn.send_nack(NackCode.BUSY, nacked_seq=packet.seq)
+            hint = self.overload.retry_hint_us(
+                self.config.retransmit.busy_retry_base_us
+            )
+            conn.send_nack(
+                NackCode.BUSY,
+                tid=packet.tid,
+                nacked_seq=packet.seq,
+                retry_hint_us=hint,
+            )
             self.sim.trace.record(
                 self.sim.now, "kernel.busy_nack", mid=self.mid, src=src,
                 tid=packet.tid,
+                hint_us=hint,
             )
+
+    def _input_occupancy_us(self) -> float:
+        """Input-side occupancy: the kernel-CPU backlog the packet being
+        processed waited behind in the input buffer, plus queued
+        interrupts, in equivalent microseconds."""
+        queued = len(self.completion_queue) + (1 if self.held is not None else 0)
+        return (
+            self._arrival_backlog_us
+            + queued * self.config.overload.queue_item_cost_us
+        )
 
     def _held_expired(self) -> None:
         held = self.held
@@ -482,7 +556,16 @@ class SodaKernel:
         conn = self._conn(held.src)
         conn.rollback_sequenced(held.packet)
         conn.forget_owed_ack(held.packet.seq)
-        conn.send_nack(NackCode.BUSY, nacked_seq=held.packet.seq, ack=None)
+        hint = self.overload.retry_hint_us(
+            self.config.retransmit.busy_retry_base_us
+        )
+        conn.send_nack(
+            NackCode.BUSY,
+            tid=held.packet.tid,
+            nacked_seq=held.packet.seq,
+            ack=None,
+            retry_hint_us=hint,
+        )
         self.sim.trace.record(
             self.sim.now,
             "kernel.busy_nack",
@@ -490,6 +573,7 @@ class SodaKernel:
             src=held.src,
             tid=held.packet.tid,
             hold_expired=True,
+            hint_us=hint,
         )
 
     def _deliver_arrival(self, src: int, packet: Packet) -> None:
@@ -781,6 +865,7 @@ class SodaKernel:
         *,
         reason: str = "",
         not_executed: Optional[bool] = None,
+        crash_report: bool = True,
     ) -> None:
         if not record.open:
             return
@@ -804,17 +889,20 @@ class SodaKernel:
         )
         # Crash-report hook (§3.6 → repro.recovery): every failed
         # transaction names the peer it gave up on, why, and whether the
-        # failure proves non-execution.
-        self.sim.trace.record(
-            self.sim.now,
-            "kernel.crash_report",
-            mid=self.mid,
-            peer=record.server_sig.mid,
-            tid=record.tid,
-            status=status.value,
-            reason=reason,
-            not_executed=not_executed,
-        )
+        # failure proves non-execution.  An OVERLOAD rejection is not a
+        # crash — the peer answered — so it must not feed the failure
+        # detector's suspicion counters.
+        if crash_report:
+            self.sim.trace.record(
+                self.sim.now,
+                "kernel.crash_report",
+                mid=self.mid,
+                peer=record.server_sig.mid,
+                tid=record.tid,
+                status=status.value,
+                reason=reason,
+                not_executed=not_executed,
+            )
         event = HandlerEvent(
             reason=HandlerReason.REQUEST_COMPLETE,
             asker=RequesterSignature(self.mid, record.tid),
@@ -840,7 +928,10 @@ class SodaKernel:
             and record.outbound is not None
             and conn.outstanding is record.outbound
         ):
-            conn.handle_ack(record.outbound.packet.seq)
+            # Synthesized from the ACCEPT's arrival, not a wire ack: the
+            # interval includes server think time, so it must not feed
+            # the RTT estimator (implicit=True).
+            conn.handle_ack(record.outbound.packet.seq, implicit=True)
         if record is None:
             code = (
                 NackCode.CRASHED
@@ -1028,6 +1119,7 @@ class SodaKernel:
     ) -> None:
         if self._accept_stale(pending, delivered):
             return
+        delivered.reply_dead = True
         self._set_delivered_state(delivered, DeliveredState.DONE)
         self.pending_accepts.pop(pending.sig, None)
         pending.resolve(AcceptStatus.CRASHED)
@@ -1110,8 +1202,8 @@ class SodaKernel:
             PacketType.CANCEL_REPLY,
             tid=packet.tid,
             arg=1 if ok else 0,
-            ack=conn.take_piggyback_ack(),
         )
+        conn.attach_piggyback(reply)
         self.transmit_packet(src, reply, sequenced=False)
 
     def _handle_cancel_reply(self, src: int, packet: Packet) -> None:
@@ -1169,10 +1261,15 @@ class SodaKernel:
     def _handle_probe(self, src: int, packet: Packet, conn: Connection) -> None:
         sig = RequesterSignature(src, packet.tid)
         delivered = self.delivered.get(sig)
-        alive = delivered is not None and delivered.state in (
-            DeliveredState.DELIVERED,
-            DeliveredState.ACCEPTED,
-            DeliveredState.DONE,
+        alive = (
+            delivered is not None
+            and not delivered.reply_dead
+            and delivered.state
+            in (
+                DeliveredState.DELIVERED,
+                DeliveredState.ACCEPTED,
+                DeliveredState.DONE,
+            )
         )
         if alive:
             arg = 1
@@ -1187,8 +1284,8 @@ class SodaKernel:
             PacketType.PROBE_REPLY,
             tid=packet.tid,
             arg=arg,
-            ack=conn.take_piggyback_ack(),
         )
+        conn.attach_piggyback(reply)
         self.transmit_packet(src, reply, sequenced=False)
 
     def _handle_probe_reply(self, src: int, packet: Packet) -> None:

@@ -80,12 +80,22 @@ class MetricsHub:
         "recovery.escalations",
     )
 
+    #: Always-visible transport/overload counters (ISSUE 5): registered
+    #: up front so a clean adaptive run reports explicit zeros — the
+    #: bench comparison needs "0 spurious retransmits" as a value, not
+    #: a missing key.
+    TRANSPORT_COUNTERS = (
+        "transport.spurious_retransmits",
+        "transport.resyncs",
+        "kernel.shed",
+    )
+
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry or MetricsRegistry()
         self.spans = SpanBuilder()
         self._net: Optional["Network"] = None
         self._handler_start: Dict[int, float] = {}
-        for name in self.RECOVERY_COUNTERS:
+        for name in self.RECOVERY_COUNTERS + self.TRANSPORT_COUNTERS:
             self.registry.counter(name)
 
     # -- attachment --------------------------------------------------------
@@ -134,6 +144,20 @@ class MetricsHub:
                 reg.histogram(
                     f"transport.attempts_to_ack.{record['kind']}"
                 ).observe(attempts)
+                policy = record.get("policy")
+                if policy is not None:
+                    reg.histogram(
+                        f"transport.attempts_to_ack.policy.{policy}"
+                    ).observe(attempts)
+        elif category == "conn.spurious_retransmit":
+            reg.counter("transport.spurious_retransmits").inc()
+            reg.counter(
+                f"transport.spurious_retransmits.{record['kind']}"
+            ).inc()
+        elif category == "conn.resync":
+            reg.counter("transport.resyncs").inc()
+        elif category == "kernel.shed":
+            reg.counter("kernel.shed").inc()
         elif category == "conn.retransmit":
             reg.counter("transport.retransmits").inc()
             reg.counter(
@@ -214,6 +238,18 @@ class MetricsHub:
             for conn in node.kernel.connections.values():
                 expiries += conn.recv_record.expiries
                 synchronizations += conn.recv_record.synchronizations
+                est = conn.estimator
+                if est is not None and est.samples:
+                    peer = conn.peer_mid
+                    reg.gauge(f"node.{mid}.srtt_us.peer{peer}").set(
+                        est.srtt_us
+                    )
+                    reg.gauge(f"node.{mid}.rttvar_us.peer{peer}").set(
+                        est.rttvar_us
+                    )
+            shed = node.kernel.overload.sheds
+            if shed:
+                reg.gauge(f"node.{mid}.sheds").set(shed)
         reg.gauge("transport.deltat_expiries").set(expiries)
         reg.gauge("transport.deltat_synchronizations").set(synchronizations)
         faults = net.faults

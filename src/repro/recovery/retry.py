@@ -5,10 +5,13 @@ and only some of them are safe to retry (the full table lives in
 docs/RECOVERY.md):
 
 * **provably unexecuted** (``Completion.not_executed is True``): the
-  NACK said UNADVERTISED, the REQUEST was still queued behind a dead
-  peer, or a probe answered arg=2 ("the previous incarnation died
-  holding it DELIVERED but never ACCEPTed").  Re-issuing cannot double
-  execute.
+  NACK said UNADVERTISED, the NACK said OVERLOAD (the server kernel
+  *shed* the REQUEST before delivery — admission control, see
+  docs/TRANSPORT.md — so the handler provably never saw it), the
+  REQUEST was still queued behind a dead peer, or a probe answered
+  arg=2 ("the previous incarnation died holding it DELIVERED but never
+  ACCEPTed").  Re-issuing cannot double execute, and none of these
+  take the MAYBE path.
 * **ambiguous** (``not_executed is None`` on a CRASHED completion): the
   request may have executed — e.g. the transport ack, not the REQUEST,
   was lost.  Re-issuing is only safe against a *new incarnation* of the

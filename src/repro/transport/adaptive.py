@@ -1,0 +1,208 @@
+"""Adaptive retransmission policy: RTT estimation + congestion backoff.
+
+The static policy of :mod:`repro.transport.retransmit` retransmits on a
+fixed 60 ms timer — spuriously early on slow (CPU-scaled or queued)
+paths, and many RTTs too late on fast ones.  :class:`AdaptivePolicy`
+replaces the constant with the classic Jacobson/Karels estimator
+(RFC 6298 coefficients), maintained per connection by an
+:class:`RttEstimator`:
+
+    SRTT    <- (1 - 1/8) * SRTT   + 1/8 * sample
+    RTTVAR  <- (1 - 1/4) * RTTVAR + 1/4 * |SRTT - sample|
+    RTO     =  SRTT + 4 * RTTVAR
+
+to which the policy adds the per-byte wire term the static policy
+already charged, a floor of one maximum-size frame's wire time
+(``min_timeout_us``), and per-message exponential backoff with a
+*collapse cap*: under consecutive losses the retry interval doubles but
+never exceeds ``backoff_cap_us``, so a congested bus sees a decaying —
+not collapsing — retry rate.
+
+**Karn's rule** is enforced at the sampling site
+(:meth:`repro.core.connection.Connection.handle_ack`): an
+acknowledgement that releases a message which was *retransmitted* never
+contributes a sample — the ack cannot be attributed to one particular
+copy — so backed-off timeouts cannot poison the estimate.
+
+**Delta-t consistency.**  Delta-t's correctness condition ties the
+receiver's record lifetime to ``R``, the sender's *maximum total
+retransmission time* (§5.2.2).  A policy that stretches its retry window
+must stretch ``R`` with it, or a receiver can forget a connection while
+the sender is still retransmitting into it and misclassify a duplicate
+as new.  :func:`deltat_for_policy` derives a consistent
+:class:`~repro.transport.deltat.DeltaTConfig` from any policy's
+:meth:`~repro.transport.retransmit.RetransmitPolicy.retry_window_bound_us`;
+the chaos harness uses it whenever it enables the adaptive policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar, Optional
+
+from repro.transport.deltat import DeltaTConfig
+from repro.transport.retransmit import RetransmitPolicy
+
+
+class RttEstimator:
+    """Per-connection SRTT/RTTVAR state (Jacobson/Karels, RFC 6298)."""
+
+    __slots__ = ("srtt_us", "rttvar_us", "samples", "backoff_scale")
+
+    #: RFC 6298 smoothing coefficients.
+    ALPHA = 0.125
+    BETA = 0.25
+    #: Ceiling on the persistent backoff multiplier; the computed delay
+    #: is capped at ``backoff_cap_us`` anyway, this just keeps the float
+    #: bounded over long loss plateaus.
+    MAX_BACKOFF_SCALE = 64.0
+
+    def __init__(self) -> None:
+        self.srtt_us: Optional[float] = None
+        self.rttvar_us: float = 0.0
+        self.samples: int = 0
+        #: RFC 6298 §5.6: Karn's rule alone deadlocks on a path slower
+        #: than the current RTO — every message gets retransmitted, so
+        #: no ack ever yields a clean sample and the estimate never
+        #: rises.  Retaining the backed-off timeout *across messages*
+        #: until a clean sample arrives breaks the cycle: eventually a
+        #: first transmission outlives the true RTT unretransmitted and
+        #: the estimator converges.
+        self.backoff_scale: float = 1.0
+
+    def sample(self, rtt_us: float) -> None:
+        """Feed one clean (never-retransmitted, Karn-safe) RTT sample."""
+        rtt_us = max(rtt_us, 0.0)
+        if self.srtt_us is None:
+            self.srtt_us = rtt_us
+            self.rttvar_us = rtt_us / 2.0
+        else:
+            self.rttvar_us = (1.0 - self.BETA) * self.rttvar_us + (
+                self.BETA * abs(self.srtt_us - rtt_us)
+            )
+            self.srtt_us = (1.0 - self.ALPHA) * self.srtt_us + (
+                self.ALPHA * rtt_us
+            )
+        self.samples += 1
+        self.backoff_scale = 1.0
+
+    def back_off(self, growth: float = 2.0) -> None:
+        """A retransmission fired: retain the backoff for later messages
+        too, until a clean sample resets it (RFC 6298 §5.6)."""
+        self.backoff_scale = min(
+            self.backoff_scale * growth, self.MAX_BACKOFF_SCALE
+        )
+
+    def rto_us(self) -> Optional[float]:
+        """``srtt + 4·rttvar``, or None before the first sample."""
+        if self.srtt_us is None:
+            return None
+        return self.srtt_us + 4.0 * self.rttvar_us
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy(RetransmitPolicy):
+    """RTT-estimated acknowledgement timeouts with capped backoff.
+
+    Inherited fields keep their meaning: ``ack_timeout_us`` becomes the
+    *initial* timeout used before the first RTT sample, and the per-byte
+    and jitter terms apply unchanged.  The BUSY retry regime is
+    inherited verbatim — BUSY is flow control, not loss, and the paper's
+    decaying-rate rule already adapts it.
+    """
+
+    kind: ClassVar[str] = "adaptive"
+
+    #: Hard floor for any computed timeout: one maximum-size frame's
+    #: wire time (4096 bytes at 8 us/byte on the 1 Mbit/s Megalink).
+    #: An estimator fed only tiny-message RTTs must never time out a
+    #: maximum-size frame while it is still serializing.
+    min_timeout_us: float = 33_000.0
+    #: Per-message exponential backoff under consecutive losses.  1.5
+    #: rather than the textbook 2.0: the Megalink is a single shared
+    #: bus, not the open Internet — decaying the retry rate is what
+    #: §5.2.3 asks for, and the gentler curve keeps loss-recovery
+    #: latency ahead of the static 60 ms timer through three
+    #: consecutive losses.
+    backoff_growth: float = 1.5
+    #: The collapse cap.  Must stay safely below the Delta-t take-any
+    #: window (305 ms at the default DeltaTConfig) so one lost
+    #: retransmission — two consecutive gaps — cannot silence the
+    #: connection long enough for the receiver to forget it; see
+    #: :func:`deltat_for_policy` for the harmonized configuration.
+    backoff_cap_us: float = 140_000.0
+
+    def make_estimator(self) -> RttEstimator:
+        return RttEstimator()
+
+    def ack_retry_delay(
+        self,
+        attempt: int,
+        rng,
+        data_bytes: int = 0,
+        estimator: Optional[RttEstimator] = None,
+    ) -> float:
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        rto = estimator.rto_us() if estimator is not None else None
+        if rto is None:
+            rto = self.ack_timeout_us
+            if estimator is not None:
+                # Persistent backoff (RFC 6298 §5.6), pre-convergence
+                # only: with no sample yet, a path slower than the
+                # initial timeout would retransmit every message and
+                # Karn's rule would block every sample — the estimator
+                # could never learn.  Retaining the backed-off timeout
+                # across messages until the first clean sample breaks
+                # that cycle.  Once converged, the scale is ignored:
+                # under *loss* (rather than slowness) retransmissions
+                # are genuine, and widening every first-attempt timeout
+                # would just slow loss recovery.
+                rto *= estimator.backoff_scale
+        rto += self.ack_timeout_per_byte_us * data_bytes
+        delay = min(
+            rto * (self.backoff_growth ** (attempt - 1)),
+            self.backoff_cap_us,
+        )
+        delay = max(delay, self.min_timeout_us)
+        return delay + rng.uniform(0.0, self.ack_jitter_us)
+
+    def retry_window_bound_us(self, count: int, data_bytes: int = 0) -> float:
+        """Upper bound on the span of ``count`` transmissions.
+
+        Every inter-transmission delay is capped at
+        ``max(backoff_cap_us, min_timeout_us) + jitter``; the per-byte
+        term is applied *inside* the cap (see :meth:`ack_retry_delay`),
+        so ``data_bytes`` cannot stretch the window further.
+        """
+        per_try = (
+            max(self.backoff_cap_us, self.min_timeout_us)
+            + self.ack_jitter_us
+        )
+        return count * per_try
+
+    def as_dict(self) -> dict:
+        knobs = super().as_dict()
+        knobs.update(
+            {
+                "min_timeout_us": self.min_timeout_us,
+                "backoff_growth": self.backoff_growth,
+                "backoff_cap_us": self.backoff_cap_us,
+            }
+        )
+        return knobs
+
+
+def deltat_for_policy(
+    policy: RetransmitPolicy,
+    max_message_bytes: int = 4096,
+    base: Optional[DeltaTConfig] = None,
+) -> DeltaTConfig:
+    """A :class:`DeltaTConfig` whose ``R`` covers the policy's true
+    maximum total retransmission time (the paper's consistency
+    condition for Delta-t, §5.2.2)."""
+    base = base or DeltaTConfig()
+    r_us = policy.retry_window_bound_us(
+        policy.max_ack_attempts, max_message_bytes
+    )
+    return replace(base, r_us=max(base.r_us, r_us))

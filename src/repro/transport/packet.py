@@ -38,6 +38,7 @@ class NackCode(enum.Enum):
     """Why a message was negatively acknowledged."""
 
     BUSY = "busy"                  # server handler BUSY/CLOSED; retry later
+    OVERLOAD = "overload"          # kernel shed the REQUEST before delivery
     UNADVERTISED = "unadvertised"  # pattern not advertised at the server
     CANCELLED = "cancelled"        # no such live request (completed/cancelled)
     CRASHED = "crashed"            # requester rebooted since REQUEST issued
@@ -84,6 +85,18 @@ class Packet:
     taken_get: int = 0
     nack_code: Optional[NackCode] = None
     nacked_seq: Optional[int] = None
+    #: BUSY NACKs carry the server's retry hint: the requester must not
+    #: retransmit the nacked REQUEST sooner than this (an overloaded
+    #: kernel widens it to shed load; sodalint rule SODA007 asserts
+    #: clients honor it).
+    retry_hint_us: Optional[float] = None
+
+    #: Transmission timestamp of this copy, stamped by the sending
+    #: connection, and its echo on acknowledgements (Eifel-style): an
+    #: ack answering an *older* copy than the last one transmitted
+    #: exposes that retransmission as spurious.
+    tx_us: Optional[float] = None
+    echo_tx_us: Optional[float] = None
 
     #: DISCOVER support: replying kernel's MID, and an opaque echo token
     #: that lets the requester kernel match replies to queries.

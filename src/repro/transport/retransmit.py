@@ -10,16 +10,29 @@ Two distinct retry regimes exist:
   with the number of retransmission attempts to avoid flooding the bus
   needlessly"); these retries are unbounded because a client looping in
   its handler is not considered crashed.
+
+The policy is pluggable: :class:`RetransmitPolicy` (aliased
+:data:`StaticPolicy`) is the paper-faithful fixed-timer policy the
+benchmarks use, and :class:`repro.transport.adaptive.AdaptivePolicy`
+subclasses it with an RTT-estimated timeout and capped exponential
+backoff for the chaos/soak runs.  A subclass overrides
+:meth:`~RetransmitPolicy.make_estimator` to hand each connection its
+estimator state and receives it back through the ``estimator`` argument
+of :meth:`~RetransmitPolicy.ack_retry_delay`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 
 @dataclass(frozen=True)
 class RetransmitPolicy:
     """Timing knobs for both retry regimes, in microseconds."""
+
+    #: Policy discriminator for traces/metrics ("static" / "adaptive").
+    kind: ClassVar[str] = "static"
 
     #: Base acknowledgement timeout.  Must cover a maximum-size frame's
     #: serialization in each direction plus the receiver's deferred-ack
@@ -36,8 +49,18 @@ class RetransmitPolicy:
     busy_retry_max_us: float = 50_000.0
     busy_jitter_us: float = 200.0
 
-    def ack_retry_delay(self, attempt: int, rng, data_bytes: int = 0) -> float:
-        """Delay before retransmission ``attempt`` (1-based) for an ack."""
+    def make_estimator(self):
+        """Per-connection estimator state, or None for a fixed timer."""
+        return None
+
+    def ack_retry_delay(
+        self, attempt: int, rng, data_bytes: int = 0, estimator=None
+    ) -> float:
+        """Delay before retransmission ``attempt`` (1-based) for an ack.
+
+        ``estimator`` is whatever :meth:`make_estimator` returned for
+        this connection; the static policy ignores it.
+        """
         if attempt < 1:
             raise ValueError("attempts are 1-based")
         return (
@@ -45,6 +68,17 @@ class RetransmitPolicy:
             + self.ack_timeout_per_byte_us * data_bytes
             + rng.uniform(0.0, self.ack_jitter_us)
         )
+
+    def retry_window_bound_us(self, count: int, data_bytes: int = 0) -> float:
+        """Upper bound on the time span of ``count`` transmissions of
+        one message (used by the INV-DELTAT trace check and to derive a
+        consistent Delta-t ``R``)."""
+        per_try = (
+            self.ack_timeout_us
+            + self.ack_timeout_per_byte_us * data_bytes
+            + self.ack_jitter_us
+        )
+        return count * per_try
 
     def busy_retry_delay(self, attempt: int, rng) -> float:
         """Delay before BUSY retry ``attempt`` (1-based), decaying rate."""
@@ -60,6 +94,7 @@ class RetransmitPolicy:
     def as_dict(self) -> dict:
         """Policy knobs for benchmark-snapshot metadata (repro.obs)."""
         return {
+            "kind": self.kind,
             "ack_timeout_us": self.ack_timeout_us,
             "ack_jitter_us": self.ack_jitter_us,
             "ack_timeout_per_byte_us": self.ack_timeout_per_byte_us,
@@ -69,3 +104,7 @@ class RetransmitPolicy:
             "busy_retry_max_us": self.busy_retry_max_us,
             "busy_jitter_us": self.busy_jitter_us,
         }
+
+
+#: The paper-faithful fixed-timer policy under its pluggable-policy name.
+StaticPolicy = RetransmitPolicy

@@ -106,6 +106,82 @@ def test_busy_parked_messages_are_exempt():
     assert checker().check(trace) == []
 
 
+# -- SODA007 (BUSY retry earlier than hinted) --------------------------
+
+
+def tx_tid(trace, t, seq, pid, tid, mid=1, dst=2):
+    trace.record(t, "kernel.tx", mid=mid, dst=dst, seq=seq, pid=pid, tid=tid)
+
+
+def busy_rx(trace, t, hint=None, tid=None, mid=1, src=2):
+    trace.record(t, "kernel.rx", mid=mid, src=src, nack="busy", hint=hint, tid=tid)
+
+
+def test_busy_retry_earlier_than_hint_is_flagged():
+    trace = Tracer()
+    tx_tid(trace, 0.0, 0, 1, tid=7)
+    busy_rx(trace, 500.0, hint=50_000.0, tid=7)
+    tx_tid(trace, 10_000.0, 0, 1, tid=7)  # 40 ms before the hint allows
+    assert invariants(checker().check(trace)) == {"SODA007"}
+
+
+def test_busy_retry_honoring_hint_is_clean():
+    trace = Tracer()
+    tx_tid(trace, 0.0, 0, 1, tid=7)
+    busy_rx(trace, 500.0, hint=50_000.0, tid=7)
+    tx_tid(trace, 51_000.0, 0, 1, tid=7)
+    assert checker().check(trace) == []
+
+
+def test_hintless_busy_nack_does_not_bind():
+    trace = Tracer()
+    tx_tid(trace, 0.0, 0, 1, tid=7)
+    busy_rx(trace, 500.0, hint=None, tid=7)
+    tx_tid(trace, 600.0, 0, 1, tid=7)  # client's own schedule governs
+    assert checker().check(trace) == []
+
+
+def test_hint_for_other_transaction_does_not_bind():
+    trace = Tracer()
+    tx_tid(trace, 0.0, 0, 1, tid=7)
+    busy_rx(trace, 500.0, hint=50_000.0, tid=9)
+    tx_tid(trace, 600.0, 0, 1, tid=7)
+    assert checker().check(trace) == []
+
+
+def test_seq_swap_releases_the_hint():
+    # A §5.2.3 priority swap parks the hinted message; its eventual
+    # fresh send is a new transmission, not a bound BUSY retry.
+    trace = Tracer()
+    tx_tid(trace, 0.0, 0, 1, tid=7)
+    busy_rx(trace, 500.0, hint=50_000.0, tid=7)
+    trace.record(
+        600.0, "conn.seq_swap", mid=1, peer=2, parked_pid=1, taker_pid=2, seq=0
+    )
+    tx_tid(trace, 700.0, 0, 2, tid=8)  # the priority taker
+    tx_tid(trace, 1_000.0, 1, 3, tid=7)  # parked message resent early: fine
+    assert checker().check(trace) == []
+
+
+@pytest.mark.no_auto_invariants
+def test_seeded_hint_blind_client_is_detected(monkeypatch):
+    """A client that ignores the server's widened BUSY retry hint (the
+    overload controller's load-spreading signal) must be caught by
+    SODA007 when the trace is replayed."""
+    from repro.chaos.runner import run_cell
+    from repro.core.connection import Connection
+
+    original = Connection.handle_busy_nack
+
+    def hint_blind(self, nacked_seq, retry_hint_us=None):
+        # Seeded bug: retry_hint_us is dropped on the floor.
+        return original(self, nacked_seq, retry_hint_us=None)
+
+    monkeypatch.setattr(Connection, "handle_busy_nack", hint_blind)
+    result = run_cell("busy", "thundering_herd", seed=1)
+    assert any("SODA007" in v for v in result.invariant_violations)
+
+
 # -- INV-HANDLER -------------------------------------------------------
 
 
@@ -207,7 +283,7 @@ def test_seeded_ack_bug_is_detected(monkeypatch):
     caught by INV-SEQ when the trace is replayed."""
     from repro.core.connection import Connection
 
-    def sticky_ack(self, ack_seq):
+    def sticky_ack(self, ack_seq, echo_tx_us=None, implicit=False):
         message = self.outstanding
         if message is None or message.packet.seq != ack_seq:
             return

@@ -178,7 +178,7 @@ def test_suspend_owed_ack_holds_the_timer():
     sim.run(until=50_000.0)
     assert kernel.sent == []
     # The ack is still owed and can be taken for piggyback.
-    assert conn.take_piggyback_ack() == 1
+    assert conn.take_piggyback_ack() == (1, None)
 
 
 def test_forget_owed_ack():

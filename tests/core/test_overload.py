@@ -1,0 +1,130 @@
+"""Kernel overload shedding (ISSUE 5): controller hysteresis, the
+widened BUSY retry hint, and the OVERLOAD NACK's proof-of-non-execution
+semantics end to end."""
+
+import pytest
+
+from repro.core import Network, RequestStatus
+from repro.core.buffers import OverloadConfig, OverloadController
+from repro.core.kernel import SodaKernel
+
+from tests.conftest import EchoServer, ScriptedClient
+
+
+def controller(**kwargs) -> OverloadController:
+    return OverloadController(OverloadConfig(**kwargs))
+
+
+# -- controller hysteresis ---------------------------------------------
+
+
+def test_shed_resume_hysteresis():
+    c = controller()
+    assert c.observe(10_000.0) is False  # below the shed threshold
+    assert c.observe(13_000.0) is True  # exceeds shed_backlog_us
+    assert c.observe(5_000.0) is True  # draining, still above resume
+    assert c.observe(3_000.0) is False  # below resume: admit again
+    assert c.observe(5_000.0) is False  # must exceed shed again to trip
+
+
+def test_disabled_controller_never_sheds():
+    c = controller(enabled=False)
+    assert c.observe(1e9) is False
+    assert c.retry_hint_us(1_200.0) is None
+
+
+# -- widened BUSY retry hint -------------------------------------------
+
+
+def test_retry_hint_is_none_when_calm():
+    c = controller()
+    c.observe(0.0)
+    assert c.retry_hint_us(1_200.0) is None
+
+
+def test_retry_hint_is_none_under_mild_load():
+    # At or below hint_backlog_us and not shedding: the client's own
+    # decaying rate governs.
+    c = controller()
+    assert c.observe(2_000.0) is False
+    assert c.retry_hint_us(1_200.0) is None
+    # Just past the threshold the widened hint engages, well before
+    # admission control would.
+    assert c.observe(2_500.0) is False
+    hint = c.retry_hint_us(1_200.0)
+    assert hint == pytest.approx(1_200.0 * 4.0 * (1.0 + 2_500.0 / 12_000.0))
+
+
+def test_retry_hint_widens_with_occupancy_and_caps():
+    c = controller()
+    c.observe(24_000.0)  # widen = 1 + 24/12 = 3
+    assert c.retry_hint_us(1_200.0) == pytest.approx(1_200.0 * 4.0 * 3.0)
+    c.observe(1e9)
+    assert c.retry_hint_us(1_200.0) == pytest.approx(50_000.0)  # max_hint_us
+
+
+# -- end to end: shed REQUEST -> OVERLOADED, not a crash ---------------
+
+
+def test_shed_request_completes_overloaded(monkeypatch):
+    # A saturated server kernel sheds the REQUEST before delivery: the
+    # requester completes OVERLOADED with not_executed=True (admission
+    # control is a proof of non-execution) and *no* crash report -- the
+    # peer is loaded, not dead.  The handler must never see the arrival.
+    net = Network(seed=71)
+    server = EchoServer()
+    server_node = net.add_node(program=server, name="server")
+
+    def body(api, self):
+        sig = yield from api.discover(server.pattern)
+        completion = yield from api.b_signal(sig)
+        return completion
+
+    client = ScriptedClient(body)
+    net.add_node(program=client, name="client", boot_at_us=100.0)
+
+    real = SodaKernel._input_occupancy_us
+
+    def saturated(self):
+        if self.mid == server_node.mid:
+            return 10.0 * self.config.overload.shed_backlog_us
+        return real(self)
+
+    monkeypatch.setattr(SodaKernel, "_input_occupancy_us", saturated)
+    net.run(until=10_000_000.0)
+
+    completion = client.result
+    assert completion.status is RequestStatus.OVERLOADED
+    assert completion.not_executed is True
+    assert server.arrivals == 0
+    assert net.sim.trace.count("kernel.shed") >= 1
+    assert server_node.kernel.overload.sheds >= 1
+    assert net.sim.trace.count("kernel.crash_report") == 0
+
+
+def test_recovered_kernel_admits_again():
+    # Hysteresis end to end: once occupancy drains below the resume
+    # threshold the same kernel must accept new REQUESTs normally.
+    net = Network(seed=72)
+    server = EchoServer()
+    server_node = net.add_node(program=server, name="server")
+
+    def body(api, self):
+        sig = yield from api.discover(server.pattern)
+        completion = yield from api.b_signal(sig)
+        return completion
+
+    client = ScriptedClient(body)
+    net.add_node(program=client, name="client", boot_at_us=100.0)
+    # Trip the controller into shedding, then let real (calm) occupancy
+    # readings drive it back below resume_backlog_us.
+    server_node.kernel.overload.observe(
+        2.0 * server_node.kernel.config.overload.shed_backlog_us
+    )
+    assert server_node.kernel.overload.shedding is True
+    net.run(until=10_000_000.0)
+
+    completion = client.result
+    assert completion.status is RequestStatus.COMPLETED
+    assert server.arrivals == 1
+    assert server_node.kernel.overload.shedding is False
