@@ -7,9 +7,16 @@
     python -m repro deltat            # Delta-t figure scenarios
     python -m repro metrics [workload]  # observability report (repro.obs)
     python -m repro lint [paths...]   # sodalint protocol linter
-    python -m repro check-trace [workload...]  # trace invariant checker
+    python -m repro check-trace [--streaming] [workload...]
+                                      # trace invariant checker (batch,
+                                      # or live incremental with
+                                      # --streaming)
+    python -m repro causal [workload...]  # vector-clock happens-before,
+                                      # race + deadlock detection
+                                      # (SODA010-SODA013)
+    python -m repro causal-bench      # batch vs streaming checker cost
     python -m repro chaos [--matrix] [--seed N] [--workload W[,W...]]
-                          [--schedule S[,S...]] [--no-shrink]
+                          [--schedule S[,S...]] [--no-shrink] [--causal]
                                       # fault-schedule sweep (repro.chaos)
     python -m repro transport-bench [--seed N]
                                       # adaptive-vs-static comparison
@@ -17,8 +24,9 @@
     python -m repro recover --demo    # crash → detect → reboot → retry
                                       # walkthrough (repro.recovery)
 
-The benchmark commands (tables, breakdown, comparison, deltat, metrics)
-accept ``--json PATH`` to also write a machine-readable ``BENCH_*.json``
+The benchmark and analysis commands (tables, breakdown, comparison,
+deltat, metrics, lint, check-trace, causal, causal-bench) accept
+``--json PATH`` to also write a machine-readable ``BENCH_*.json``-style
 snapshot; ``metrics`` additionally accepts ``--jsonl PATH`` for
 one-metric-per-line output.
 """
@@ -233,6 +241,9 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
     shrink = "--no-shrink" not in argv
     if not shrink:
         argv.remove("--no-shrink")
+    causal = "--causal" in argv
+    if causal:
+        argv.remove("--causal")
     seed_text = _take_flag_value(argv, "--seed")
     seed = int(seed_text) if seed_text else 1
     workload = _take_flag_value(argv, "--workload")
@@ -259,6 +270,7 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
         schedules=schedules,
         seeds=(seed,),
         progress=progress,
+        causal=causal,
     )
     failed = [r for r in results if not r.ok]
     print(
@@ -269,6 +281,7 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
             result.invariant_violations
             + result.liveness_problems
             + result.selfheal_problems
+            + result.causal_problems
         ):
             print(f"  {result.workload}/{result.schedule}: {line}")
 
@@ -280,12 +293,20 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
 
         def still_fails(trial) -> bool:
             return not run_cell(
-                first.workload, first.schedule, first.seed, scenario=trial
+                first.workload,
+                first.schedule,
+                first.seed,
+                scenario=trial,
+                causal=causal,
             ).ok
 
         minimal = shrink_scenario(scenario, still_fails)
         rerun = run_cell(
-            first.workload, first.schedule, first.seed, scenario=minimal
+            first.workload,
+            first.schedule,
+            first.seed,
+            scenario=minimal,
+            causal=causal,
         )
         print()
         print("minimal reproducer (paste into tests/test_chaos.py):")
@@ -297,7 +318,8 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
                 minimal,
                 rerun.invariant_violations
                 + rerun.liveness_problems
-                + rerun.selfheal_problems,
+                + rerun.selfheal_problems
+                + rerun.causal_problems,
             )
         )
     if json_path:
@@ -481,11 +503,19 @@ def main(argv=None) -> int:
     elif command == "lint":
         from repro.analysis.cli import run_lint
 
-        return run_lint(argv[1:])
+        return run_lint(argv[1:], json_path=json_path)
     elif command == "check-trace":
         from repro.analysis.cli import run_check_trace
 
-        return run_check_trace(argv[1:])
+        return run_check_trace(argv[1:], json_path=json_path)
+    elif command == "causal":
+        from repro.analysis.cli import run_causal
+
+        return run_causal(argv[1:], json_path=json_path)
+    elif command == "causal-bench":
+        from repro.analysis.cli import run_causal_bench_cli
+
+        return run_causal_bench_cli(argv[1:], json_path=json_path)
     else:
         print(__doc__)
         return 1 if command not in ("-h", "--help", "help") else 0

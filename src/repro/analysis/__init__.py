@@ -13,10 +13,23 @@ Two halves:
   machine-checkable transport invariants: alternating-bit sequence
   alternation, retransmission bounds, handler non-nesting,
   delivered-request completion, and cost-ledger consistency.
+* **causal analysis engine** — :mod:`repro.analysis.causal` builds a
+  vector-clock happens-before relation over the same records, runs the
+  SODA010-013 race/deadlock rules, and provides the streaming
+  (O(open-state)) rewrite of the invariant checker.
 
 See ``docs/ANALYSIS.md`` for the rule table and extension guide.
 """
 
+from repro.analysis.causal import (
+    CausalDiagnostic,
+    CausalOrder,
+    IncrementalChecker,
+    build_causal_order,
+    check_stream,
+    detect_deadlocks,
+    find_races,
+)
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.invariants import (
     InvariantChecker,
@@ -27,6 +40,7 @@ from repro.analysis.invariants import (
 from repro.analysis.linter import LintConfig, Linter, lint_paths
 from repro.analysis.rules import LintRule, all_rules, get_rule, register_rule
 from repro.analysis.workloads import (
+    CAUSAL_WORKLOADS,
     WORKLOADS,
     BuiltWorkload,
     WorkloadRole,
@@ -36,8 +50,16 @@ from repro.analysis.workloads import (
 )
 
 __all__ = [
+    "CausalDiagnostic",
+    "CausalOrder",
     "Diagnostic",
+    "IncrementalChecker",
     "Severity",
+    "build_causal_order",
+    "check_stream",
+    "detect_deadlocks",
+    "find_races",
+    "CAUSAL_WORKLOADS",
     "LintRule",
     "register_rule",
     "get_rule",

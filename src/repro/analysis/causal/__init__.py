@@ -1,0 +1,36 @@
+"""Causal analysis engine over kernel trace records (PR 6).
+
+Four cooperating pieces, all pure functions of a trace:
+
+* :mod:`repro.analysis.causal.clocks` — vector clocks / happens-before;
+* :mod:`repro.analysis.causal.races` — SODA010-SODA012 causal race
+  rules with shrunk witness pairs;
+* :mod:`repro.analysis.causal.waitfor` — SODA013 wait-for-graph
+  deadlock detection from open transaction spans;
+* :mod:`repro.analysis.causal.streaming` — the O(open-state) streaming
+  rewrite of the batch invariant checker (a live Tracer sink).
+
+See docs/ANALYSIS.md ("Causal analysis") for the clock model and the
+rule table.
+"""
+
+from repro.analysis.causal.clocks import CausalOrder, build_causal_order
+from repro.analysis.causal.races import CausalDiagnostic, find_races
+from repro.analysis.causal.streaming import IncrementalChecker, check_stream
+from repro.analysis.causal.waitfor import (
+    WaitForGraph,
+    build_wait_graph,
+    detect_deadlocks,
+)
+
+__all__ = [
+    "CausalDiagnostic",
+    "CausalOrder",
+    "IncrementalChecker",
+    "WaitForGraph",
+    "build_causal_order",
+    "build_wait_graph",
+    "check_stream",
+    "detect_deadlocks",
+    "find_races",
+]

@@ -1,0 +1,132 @@
+"""``python -m repro causal-bench`` — batch vs streaming checker cost.
+
+One long soak (a streaming requester pushing a fixed request count
+through an accepting server) is checked twice:
+
+* **batch** — retain every trace record, replay with
+  :class:`~repro.analysis.invariants.InvariantChecker` afterwards; its
+  working set is the whole trace;
+* **streaming** — :class:`IncrementalChecker` attached as a live tracer
+  sink; its working set is the open-transaction state only.
+
+The committed ``BENCH_analysis.json`` carries only *deterministic*
+numbers (record counts, simulated-time throughput, peak retained
+state, verdict agreement) so CI can diff it byte-for-byte; wall-clock
+rates are printed to stdout and never serialized.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+from repro.analysis.causal.clocks import build_causal_order
+from repro.analysis.causal.streaming import IncrementalChecker
+from repro.analysis.invariants import InvariantChecker
+from repro.bench.workloads import AcceptingServer, StreamingRequester
+from repro.core.node import Network
+
+#: Fixed soak shape: enough transactions that open state vs trace
+#: length separates by orders of magnitude, small enough for CI.
+SOAK_SEED = 29
+SOAK_TXNS = 600
+SOAK_HORIZON_US = 120_000_000.0
+
+
+def _build_soak() -> Network:
+    net = Network(seed=SOAK_SEED)
+    net.add_node(program=AcceptingServer(reply_bytes=8))
+    net.add_node(
+        program=StreamingRequester(put_bytes=32, get_bytes=8, total=SOAK_TXNS),
+        boot_at_us=100.0,
+    )
+    return net
+
+
+def run_causal_bench(
+    out: Callable[[str], None] = print,
+) -> Dict[str, Any]:
+    """Run the soak twice; returns the deterministic comparison body."""
+    # -- batch: retain the full trace, replay afterwards -----------------
+    net = _build_soak()
+    net.run(until=SOAK_HORIZON_US)
+    records = list(net.sim.trace.records)
+    t0 = time.perf_counter()
+    batch = InvariantChecker(network=net, strict_completion=True)
+    batch_violations = batch.check(net.sim.trace, ledger=net.ledger)
+    batch_s = time.perf_counter() - t0
+    horizon_us = net.sim.now
+
+    # -- streaming: live sink, no retention needed -----------------------
+    live_net = _build_soak()
+    checker = IncrementalChecker(network=live_net, strict_completion=True)
+    checker.install(live_net)
+    t0 = time.perf_counter()
+    live_net.run(until=SOAK_HORIZON_US)
+    stream_violations = checker.finish(ledger=live_net.ledger)
+    stream_s = time.perf_counter() - t0
+
+    order = build_causal_order(records)
+
+    batch_fmt = [v.format() for v in batch_violations]
+    stream_fmt = [v.format() for v in stream_violations]
+    body: Dict[str, Any] = {
+        "soak": {
+            "seed": SOAK_SEED,
+            "transactions": SOAK_TXNS,
+            "horizon_sim_s": horizon_us / 1e6,
+            "records_total": len(records),
+        },
+        "batch": {
+            "retained_records": len(records),
+            "violations": batch_fmt,
+        },
+        "streaming": {
+            "records_checked": checker.records_checked,
+            "peak_open_state": checker.peak_open_state,
+            "retained_ratio": (
+                checker.peak_open_state / len(records) if records else 0.0
+            ),
+            "violations": stream_fmt,
+        },
+        "causal": {
+            "clocks_allocated": order.clocks_allocated,
+            "send_edges": order.send_edges,
+            "unmatched_rx": order.unmatched_rx,
+            "processes": len(order.processes),
+        },
+        "records_per_sim_second": (
+            len(records) / (horizon_us / 1e6) if horizon_us else 0.0
+        ),
+        "verdicts_equal": batch_fmt == stream_fmt,
+    }
+
+    out(
+        f"soak: {len(records)} records over "
+        f"{horizon_us / 1e6:.2f} simulated seconds "
+        f"({SOAK_TXNS} transactions, seed {SOAK_SEED})"
+    )
+    out(
+        f"batch:     retained {len(records)} records, "
+        f"{len(batch_fmt)} violation(s), "
+        f"checked in {batch_s * 1000.0:.1f}ms wall "
+        f"({_rate(len(records), batch_s)} records/sec)"
+    )
+    out(
+        f"streaming: peak open state {checker.peak_open_state} "
+        f"({body['streaming']['retained_ratio'] * 100.0:.3f}% of trace), "
+        f"{len(stream_fmt)} violation(s), "
+        f"run+checked in {stream_s * 1000.0:.1f}ms wall"
+    )
+    out(
+        "verdicts: identical"
+        if body["verdicts_equal"]
+        else "verdicts: DIVERGED"
+    )
+    return body
+
+
+def _rate(count: int, seconds: float) -> str:
+    if seconds <= 0.0:
+        return "inf"
+    return f"{count / seconds:,.0f}"

@@ -1,0 +1,330 @@
+"""Causal race rules SODA010-SODA012 (docs/ANALYSIS.md, "Causal
+analysis").
+
+All three rules are *harm* rules, not concurrency detectors: SODA's
+kernel is full of benign concurrency (an ACCEPT legitimately races a
+CANCEL every time a requester withdraws), so flagging incomparability
+alone would drown real findings.  Each rule fires only when the trace
+shows an **effect without its cause** or **state crossing an
+incarnation boundary**:
+
+* **SODA010 — causality inversion.**  A transaction effect (delivery at
+  the server, COMPLETED at the requester) whose cause (the REQUEST
+  issue, the delivery) is *not* in its causal past.  On a healthy trace
+  the REQUEST's wire edges put the cause strictly before the effect.
+* **SODA011 — ACCEPT/reset race.**  A REQUEST completes COMPLETED in a
+  *different requester incarnation* than the one that issued it: a
+  stale ACCEPT crossed the requester's reset and resurrected a dead
+  transaction.  The kernel's tid watermark (§3.6.1) exists precisely to
+  make this impossible — the rule is the trace-side proof.
+* **SODA012 — shared-state write across a reset.**  Kernel shared cells
+  (delivered-request records, connection send state, advertisement-table
+  entries) are wiped at incarnation boundaries; a write that continues
+  a pre-boundary cell means a stale cause (an in-flight ACCEPT, a timer
+  of the dead incarnation) raced the reset.
+
+Every diagnostic carries a shrunk witness pair: the two trace records
+whose (mis)ordering proves the violation, annotated with their clock
+relation when a :class:`~repro.analysis.causal.clocks.CausalOrder` is
+supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.causal.clocks import CausalOrder
+from repro.sim.tracing import TraceRecord
+
+#: Connection-record categories that prove *send-direction* activity —
+#: each requires an outstanding message, which requires a prior
+#: ``kernel.tx`` (a rx-side record like ``conn.resync`` does not).
+_CONN_SEND_CATEGORIES = frozenset(
+    {
+        "conn.retransmit",
+        "conn.busy_retry",
+        "conn.acked",
+        "conn.peer_dead",
+        "conn.seq_swap",
+        "conn.spurious_retransmit",
+    }
+)
+
+#: Boundary records that wipe a node's delivered cells and pattern table.
+_RESET_CATEGORIES = frozenset({"kernel.client_reset"})
+
+
+@dataclass(frozen=True)
+class CausalDiagnostic:
+    """One causal rule violation, anchored to a witness pair."""
+
+    rule_id: str
+    time: float
+    mid: Optional[int]
+    message: str
+    #: Shrunk witness: formatted references to the (at most two) trace
+    #: records whose ordering proves the violation.
+    witness: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        where = f"mid={self.mid}" if self.mid is not None else "-"
+        text = (
+            f"t={self.time / 1000.0:.3f}ms {self.rule_id} [{where}] "
+            f"{self.message}"
+        )
+        if self.witness:
+            text += " (witness: " + " | ".join(self.witness) + ")"
+        return text
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _witness(
+    order: Optional[CausalOrder],
+    records: Sequence[TraceRecord],
+    i: int,
+    j: int,
+) -> Tuple[str, ...]:
+    """Format the witness pair (i, j), clock-annotated when possible."""
+    if order is not None:
+        pair = [order.describe(i), order.describe(j)]
+        if order.concurrent(i, j):
+            pair.append("clock-concurrent")
+        elif order.happens_before(j, i):
+            pair.append("clock-inverted")
+        return tuple(pair)
+    refs = []
+    for idx in (i, j):
+        rec = records[idx]
+        refs.append(f"#{idx} t={rec.time / 1000.0:.3f}ms {rec.category}")
+    return tuple(refs)
+
+
+@dataclass
+class _Txn:
+    """Per-transaction record indices, keyed <requester mid, tid>."""
+
+    request: Optional[int] = None
+    delivered: Optional[int] = None
+    complete: Optional[int] = None
+    complete_status: Optional[str] = None
+
+
+def find_races(
+    records: Sequence[TraceRecord], order: Optional[CausalOrder] = None
+) -> List[CausalDiagnostic]:
+    """Run SODA010-SODA012 over one trace; deterministic order."""
+    txns: Dict[Tuple[int, int], _Txn] = {}
+    #: per mid: indices of reset boundaries, in trace order.
+    resets: Dict[int, List[int]] = {}
+    #: per mid: indices of full-kernel crashes (connections wiped too).
+    crashes: Dict[int, List[int]] = {}
+    #: requester epoch at request/complete time (SODA011).
+    req_epoch: Dict[Tuple[int, int], int] = {}
+    done_epoch: Dict[Tuple[int, int], int] = {}
+    epochs: Dict[int, int] = {}
+    #: delivered cell -> (last write idx, last state).
+    delivered_cells: Dict[Tuple[int, int, int], Tuple[int, str]] = {}
+    #: last kernel.tx index per (mid, dst).
+    last_tx: Dict[Tuple[int, int], int] = {}
+    #: advertisement table: (mid, pattern) -> epoch of last advertise.
+    adtable: Dict[Tuple[int, int], int] = {}
+
+    diagnostics: List[CausalDiagnostic] = []
+
+    def current_epoch(mid: int) -> int:
+        return epochs.get(mid, 0)
+
+    for idx, rec in enumerate(records):
+        category = rec.category
+        mid = rec.get("mid")
+        if category == "kernel.request":
+            txn = txns.setdefault((mid, rec["tid"]), _Txn())
+            if txn.request is None:
+                txn.request = idx
+            req_epoch[(mid, rec["tid"])] = current_epoch(mid)
+        elif category == "kernel.delivered_state":
+            key = (rec["mid"], rec["src"], rec["tid"])
+            txn = txns.setdefault((rec["src"], rec["tid"]), _Txn())
+            state = rec["state"]
+            if state == "delivered" and txn.delivered is None:
+                txn.delivered = idx
+            prev = delivered_cells.get(key)
+            if prev is not None and state != "delivered":
+                prev_idx, _prev_state = prev
+                boundary = _boundary_between(
+                    resets.get(rec["mid"], ()), prev_idx, idx
+                )
+                if boundary is not None:
+                    diagnostics.append(
+                        CausalDiagnostic(
+                            "SODA012",
+                            rec.time,
+                            rec["mid"],
+                            f"delivered cell <{key[1]},{key[2]}> advanced "
+                            f"to '{state}' across mid {rec['mid']}'s "
+                            f"incarnation boundary — the write's cause "
+                            f"predates the reset that wiped the cell",
+                            witness=_witness(order, records, boundary, idx),
+                        )
+                    )
+            delivered_cells[key] = (idx, state)
+        elif category == "kernel.complete":
+            txn = txns.setdefault((mid, rec["tid"]), _Txn())
+            if txn.complete is None:
+                txn.complete = idx
+                txn.complete_status = rec.get("status")
+            done_epoch[(mid, rec["tid"])] = current_epoch(mid)
+        elif category == "kernel.client_reset":
+            epochs[mid] = rec.get("epoch", current_epoch(mid) + 1)
+            resets.setdefault(mid, []).append(idx)
+        elif category == "kernel.crash":
+            crashes.setdefault(mid, []).append(idx)
+        elif category == "kernel.tx":
+            dst = rec.get("dst")
+            if dst is not None and dst >= 0:
+                last_tx[(mid, dst)] = idx
+        elif category in _CONN_SEND_CATEGORIES:
+            peer = rec.get("peer")
+            if peer is None:
+                continue
+            boundary = _latest_before(crashes.get(mid, ()), idx)
+            if boundary is not None:
+                tx_idx = last_tx.get((mid, peer))
+                if tx_idx is None or tx_idx < boundary:
+                    diagnostics.append(
+                        CausalDiagnostic(
+                            "SODA012",
+                            rec.time,
+                            mid,
+                            f"connection record {mid}->{peer} shows "
+                            f"send-direction activity ({category}) after "
+                            f"mid {mid}'s power failure with no fresh "
+                            f"transmission — state of the dead "
+                            f"incarnation raced the crash",
+                            witness=_witness(order, records, boundary, idx),
+                        )
+                    )
+                    # One finding per resurrected connection per crash.
+                    last_tx[(mid, peer)] = idx
+        elif category == "kernel.advertise":
+            adtable[(mid, rec["pattern"])] = current_epoch(mid)
+        elif category == "kernel.unadvertise":
+            owner = adtable.get((mid, rec["pattern"]))
+            if owner is not None and owner != current_epoch(mid):
+                boundary = _latest_before(resets.get(mid, ()), idx)
+                if boundary is not None:
+                    diagnostics.append(
+                        CausalDiagnostic(
+                            "SODA012",
+                            rec.time,
+                            mid,
+                            f"advertisement-table entry for pattern "
+                            f"{rec['pattern']:#x} unadvertised by "
+                            f"incarnation e{current_epoch(mid)} but "
+                            f"advertised by e{owner} — the reset wiped "
+                            f"the table between the two writes",
+                            witness=_witness(order, records, boundary, idx),
+                        )
+                    )
+                adtable[(mid, rec["pattern"])] = current_epoch(mid)
+
+    # -- SODA010 / SODA011 per transaction, deterministic key order ------
+    for (req_mid, tid), txn in sorted(txns.items()):
+        if order is not None and txn.delivered is not None:
+            if txn.request is not None and not order.happens_before(
+                txn.request, txn.delivered
+            ):
+                rec = records[txn.delivered]
+                diagnostics.append(
+                    CausalDiagnostic(
+                        "SODA010",
+                        rec.time,
+                        rec.get("mid"),
+                        f"REQUEST <{req_mid},{tid}> was delivered at the "
+                        f"server without the issuing REQUEST in its "
+                        f"causal past — the delivery cannot have been "
+                        f"caused by the request it claims",
+                        witness=_witness(
+                            order, records, txn.request, txn.delivered
+                        ),
+                    )
+                )
+            if (
+                txn.complete is not None
+                and txn.complete_status == "completed"
+                and not order.happens_before(txn.delivered, txn.complete)
+            ):
+                rec = records[txn.complete]
+                diagnostics.append(
+                    CausalDiagnostic(
+                        "SODA010",
+                        rec.time,
+                        rec.get("mid"),
+                        f"REQUEST <{req_mid},{tid}> completed COMPLETED "
+                        f"without its delivery in the completion's "
+                        f"causal past — the reply arrived before (or "
+                        f"concurrently with) its own cause",
+                        witness=_witness(
+                            order, records, txn.delivered, txn.complete
+                        ),
+                    )
+                )
+        issue = req_epoch.get((req_mid, tid))
+        finish = done_epoch.get((req_mid, tid))
+        if (
+            issue is not None
+            and finish is not None
+            and finish != issue
+            and txn.complete_status == "completed"
+        ):
+            rec = records[txn.complete]
+            boundary = _boundary_between(
+                resets.get(req_mid, ()), txn.request or 0, txn.complete
+            )
+            witness = (
+                _witness(order, records, boundary, txn.complete)
+                if boundary is not None
+                else _witness(
+                    order, records, txn.request or txn.complete, txn.complete
+                )
+            )
+            diagnostics.append(
+                CausalDiagnostic(
+                    "SODA011",
+                    rec.time,
+                    req_mid,
+                    f"REQUEST <{req_mid},{tid}> was issued by incarnation "
+                    f"e{issue} but completed COMPLETED in e{finish} — a "
+                    f"stale ACCEPT crossed the requester's reset and "
+                    f"resurrected a dead transaction (§3.6.1 tid "
+                    f"watermark violated)",
+                    witness=witness,
+                )
+            )
+
+    diagnostics.sort(key=lambda d: (d.time, d.rule_id, d.mid or -1, d.message))
+    return diagnostics
+
+
+def _boundary_between(
+    boundaries: Sequence[int], start: int, end: int
+) -> Optional[int]:
+    """The first boundary index strictly between ``start`` and ``end``."""
+    for idx in boundaries:
+        if start < idx < end:
+            return idx
+    return None
+
+
+def _latest_before(boundaries: Sequence[int], end: int) -> Optional[int]:
+    """The latest boundary index strictly before ``end``."""
+    found: Optional[int] = None
+    for idx in boundaries:
+        if idx < end:
+            found = idx
+        else:
+            break
+    return found

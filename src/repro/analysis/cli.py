@@ -1,20 +1,44 @@
-"""CLI entry points for ``python -m repro lint`` / ``check-trace``."""
+"""CLI entry points for ``python -m repro lint`` / ``check-trace`` /
+``causal`` / ``causal-bench``."""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.causal import (
+    IncrementalChecker,
+    build_causal_order,
+    check_stream,
+    detect_deadlocks,
+    find_races,
+)
+from repro.analysis.causal.bench import run_causal_bench as _causal_bench
 from repro.analysis.invariants import check_network
 from repro.analysis.linter import LintConfig, has_errors, lint_paths
-from repro.analysis.workloads import WORKLOADS, run_workload
+from repro.analysis.workloads import (
+    CAUSAL_WORKLOADS,
+    WORKLOADS,
+    build_workload,
+    run_workload,
+)
+from repro.obs.export import snapshot_payload, write_snapshot
 
 #: Linted by default: the repo's own client programs.
 DEFAULT_LINT_PATHS = ("src/repro/apps", "examples")
 
 
-def run_lint(argv: Sequence[str], out=print) -> int:
-    """``python -m repro lint [--disable=IDS] [paths...]``; 0 = clean."""
+def _emit(json_path: Optional[str], kind: str, body: Dict[str, Any], out) -> None:
+    if json_path:
+        target = write_snapshot(json_path, snapshot_payload(kind, body))
+        out(f"wrote {target}")
+
+
+def run_lint(
+    argv: Sequence[str], out=print, json_path: Optional[str] = None
+) -> int:
+    """``python -m repro lint [--disable=IDS] [--json PATH] [paths...]``;
+    0 = clean."""
     paths: List[str] = []
     disabled: List[str] = []
     for arg in argv:
@@ -39,11 +63,31 @@ def run_lint(argv: Sequence[str], out=print) -> int:
         f"sodalint: {len(diagnostics)} finding(s), {errors} error(s) "
         f"in {', '.join(paths or DEFAULT_LINT_PATHS)}"
     )
+    _emit(
+        json_path,
+        "lint",
+        {
+            "paths": list(paths or DEFAULT_LINT_PATHS),
+            "disabled": sorted(disabled),
+            "findings": [d.to_dict() for d in diagnostics],
+            "errors": errors,
+        },
+        out,
+    )
     return 1 if has_errors(diagnostics) else 0
 
 
-def run_check_trace(argv: Sequence[str], out=print) -> int:
-    """``python -m repro check-trace [workload...]``; 0 = all hold."""
+def run_check_trace(
+    argv: Sequence[str], out=print, json_path: Optional[str] = None
+) -> int:
+    """``python -m repro check-trace [--streaming] [--json PATH]
+    [workload...]``; 0 = all hold.
+
+    ``--streaming`` checks with the O(open-state) incremental checker
+    attached as a live tracer sink instead of replaying the retained
+    trace, and additionally asserts both checkers agree.
+    """
+    streaming = "--streaming" in argv
     names = [arg for arg in argv if not arg.startswith("-")]
     unknown = [name for name in names if name not in WORKLOADS]
     if unknown:
@@ -55,18 +99,146 @@ def run_check_trace(argv: Sequence[str], out=print) -> int:
     if not names:
         names = sorted(WORKLOADS)
     failures = 0
+    results: List[Dict[str, Any]] = []
     for name in names:
-        net = run_workload(name)
-        violations = check_network(net, strict_completion=True)
+        if streaming:
+            built = build_workload(name)
+            checker = IncrementalChecker(
+                network=built.net, strict_completion=True
+            ).install(built.net)
+            net = built.run()
+            violations = checker.finish(ledger=net.ledger)
+            batch = check_network(net, strict_completion=True)
+            agree = [v.format() for v in violations] == [
+                v.format() for v in batch
+            ]
+        else:
+            net = run_workload(name)
+            violations = check_network(net, strict_completion=True)
+            agree = True
         records = len(net.sim.trace.records)
-        if violations:
+        if violations or not agree:
             failures += 1
             out(f"{name}: FAILED ({records} trace records)")
             for violation in violations:
                 out(f"    {violation.format()}")
+            if not agree:
+                out("    streaming checker disagreed with batch replay")
         else:
-            out(f"{name}: ok ({records} trace records, all invariants hold)")
+            mode = ", streaming" if streaming else ""
+            out(
+                f"{name}: ok ({records} trace records, "
+                f"all invariants hold{mode})"
+            )
+        results.append(
+            {
+                "workload": name,
+                "records": records,
+                "violations": [v.format() for v in violations],
+                "streaming_agrees": agree,
+            }
+        )
     out(
         f"check-trace: {len(names) - failures}/{len(names)} workload(s) clean"
     )
+    _emit(
+        json_path,
+        "check_trace",
+        {"streaming": streaming, "workloads": results},
+        out,
+    )
     return 1 if failures else 0
+
+
+def run_causal(
+    argv: Sequence[str], out=print, json_path: Optional[str] = None
+) -> int:
+    """``python -m repro causal [--json PATH] [workload...]``; 0 = no
+    causal diagnostics and streaming agrees with batch.
+
+    Runs each workload, builds the happens-before relation, and reports
+    races (SODA010-012), wait-for deadlocks (SODA013), and
+    streaming/batch checker agreement.  The default set is the standard
+    (clean) workloads; the causal-only pathology demos — e.g.
+    ``philosophers_noarb``, which must FAIL with a SODA013 cycle — run
+    only when named explicitly.
+    """
+    names = [arg for arg in argv if not arg.startswith("-")]
+    unknown = [name for name in names if name not in CAUSAL_WORKLOADS]
+    if unknown:
+        out(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(CAUSAL_WORKLOADS))}"
+        )
+        return 1
+    if not names:
+        names = sorted(WORKLOADS)
+    failing = 0
+    results: List[Dict[str, Any]] = []
+    hub = None
+    try:
+        from repro.obs.instrument import MetricsHub
+
+        hub = MetricsHub()
+    except Exception:  # pragma: no cover - obs is a hard dep in-tree
+        pass
+    for name in names:
+        built = build_workload(name)
+        checker = IncrementalChecker(
+            network=built.net, strict_completion=False
+        ).install(built.net)
+        net = built.run()
+        records = list(net.sim.trace.records)
+        stream_verdicts = [
+            v.format() for v in checker.finish(ledger=net.ledger)
+        ]
+        batch_verdicts = [
+            v.format()
+            for v in check_network(net, strict_completion=False)
+        ]
+        agree = stream_verdicts == batch_verdicts
+        order = build_causal_order(records)
+        races = find_races(records, order)
+        deadlocks = detect_deadlocks(records)
+        diagnostics = races + deadlocks
+        if hub is not None:
+            hub.note_analysis(checker, order)
+        ok = agree and not diagnostics
+        if not ok:
+            failing += 1
+        status = "ok" if ok else "FAILED"
+        out(
+            f"{name}: {status} ({len(records)} records, "
+            f"{order.clocks_allocated} clocks, "
+            f"{order.send_edges} send/recv edges, "
+            f"peak open state {checker.peak_open_state})"
+        )
+        for diag in diagnostics:
+            out(f"    {diag.format()}")
+        if not agree:
+            out("    streaming checker disagreed with batch replay")
+        results.append(
+            {
+                "workload": name,
+                "records": len(records),
+                "clocks_allocated": order.clocks_allocated,
+                "send_edges": order.send_edges,
+                "unmatched_rx": order.unmatched_rx,
+                "processes": len(order.processes),
+                "peak_open_state": checker.peak_open_state,
+                "diagnostics": [d.format() for d in diagnostics],
+                "streaming_agrees": agree,
+            }
+        )
+    out(f"causal: {len(names) - failing}/{len(names)} workload(s) clean")
+    _emit(json_path, "causal", {"workloads": results}, out)
+    return 1 if failing else 0
+
+
+def run_causal_bench_cli(
+    argv: Sequence[str], out=print, json_path: Optional[str] = None
+) -> int:
+    """``python -m repro causal-bench [--json PATH]``."""
+    body = _causal_bench(out=out)
+    _emit(json_path, "causal_bench", body, out)
+    return 0 if body["verdicts_equal"] else 1

@@ -34,5 +34,16 @@ class Diagnostic:
             f"{self.rule_id} [{self.severity.value}] {self.message}"
         )
 
+    def to_dict(self) -> dict:
+        """Machine-readable form for ``lint --json`` snapshots."""
+        return {
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+        }
+
     def __str__(self) -> str:
         return self.format()

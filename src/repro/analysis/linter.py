@@ -147,6 +147,10 @@ def lint_paths(
     out: List[Diagnostic] = []
     for path in iter_python_files(paths):
         out.extend(linter.lint_file(path))
+    # Global stable order across files, not just within each: tooling
+    # diffing two lint runs (CI, --json snapshots) must never see
+    # findings reordered by directory traversal details.
+    out.sort(key=lambda d: (d.file, d.line, d.col, d.rule_id))
     return out
 
 

@@ -27,6 +27,7 @@ from repro.bench.workloads import (
     QueuedServer,
     StreamingRequester,
 )
+from repro.apps.philosophers import Philosopher
 from repro.core.boot import ProgramImage
 from repro.core.buffers import Buffer
 from repro.core.client import ClientProgram
@@ -39,6 +40,7 @@ from repro.recovery.supervisor import SupervisedService, SupervisorProgram
 
 __all__ = [
     "BENCH_PATTERN",
+    "CAUSAL_WORKLOADS",
     "ECHO_PATTERN",
     "WORKLOADS",
     "BuiltWorkload",
@@ -310,13 +312,41 @@ WORKLOADS: Dict[str, WorkloadSpec] = {
 }
 
 
+def _noarb_philosopher(index: int, count: int = 5):
+    return lambda: Philosopher(
+        left_mid=(index - 1) % count,
+        meals_target=3,
+        grab_own_first=True,
+    )
+
+
+#: Extra workloads for ``python -m repro causal`` only.  They are *not*
+#: part of ``WORKLOADS`` — the chaos matrix, check-trace and the tier-1
+#: gates stay exactly the 7 originals — because these exist to
+#: demonstrate pathologies: ``philosophers_noarb`` runs the §4.4.3 ring
+#: with the hold-and-wait acquisition order and no deadlock detector,
+#: so it *must* end with a SODA013 wait-for cycle.
+CAUSAL_WORKLOADS: Dict[str, WorkloadSpec] = {
+    **WORKLOADS,
+    "philosophers_noarb": WorkloadSpec(
+        "philosophers_noarb",
+        seed=21,
+        until_us=400_000.0,
+        roles=tuple(
+            WorkloadRole(f"phil{i}", _noarb_philosopher(i))
+            for i in range(5)
+        ),
+    ),
+}
+
+
 def get_spec(name: str) -> WorkloadSpec:
     try:
-        return WORKLOADS[name]
+        return CAUSAL_WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; choose from "
-            f"{', '.join(sorted(WORKLOADS))}"
+            f"{', '.join(sorted(CAUSAL_WORKLOADS))}"
         ) from None
 
 

@@ -50,11 +50,20 @@ class Philosopher(ClientProgram):
         think_us: float = 2_000.0,
         eat_us: float = 2_000.0,
         meals_target: Optional[int] = None,
+        grab_own_first: bool = False,
     ) -> None:
         self.left_mid = left_mid
         self.think_us = think_us
         self.eat_us = eat_us
         self.meals_target = meals_target
+        #: The textbook *wrong* acquisition order: claim our own fork
+        #: before requesting the neighbor's.  With every philosopher
+        #: doing this simultaneously the ring deadlocks by hold-and-wait
+        #: (each holds its own fork, each waits on its left neighbor) —
+        #: the failure §4.4.3's grab-left-first protocol exists to
+        #: avoid.  Used by the ``philosophers_noarb`` causal workload to
+        #: seed a wait-for cycle for SODA013.
+        self.grab_own_first = grab_own_first
         self.meals = 0
         self.give_backs = 0
 
@@ -87,19 +96,35 @@ class Philosopher(ClientProgram):
     def task(self, api):
         while self.meals_target is None or self.meals < self.meals_target:
             yield api.compute(self.think_us)
-            # Ask the left neighbor for its fork (non-blocking SIGNAL;
-            # completion means the fork was granted).
-            self.myrequest = yield from api.signal(self._left(GETFORK))
-            yield from api.poll(lambda: self.he_owns is ForkState.MINE)
-            while True:
-                got = yield from self.grab_my_fork(api)
-                if got and self.he_owns is ForkState.MINE:
-                    break
-                # We may have been told to give the left fork back; wait
-                # until it returns (§4.4.3's retest).
-                if not got:
+            if self.grab_own_first:
+                # Hold-and-wait order: claim our own fork locally, then
+                # block on the neighbor's.  Symmetric rings deadlock.
+                while True:
+                    got = yield from self.grab_my_fork(api)
+                    if got:
+                        break
                     yield api.idle()
+                    yield from api.poll(
+                        lambda: self.i_own is not ForkState.HIS
+                    )
+                self.myrequest = yield from api.signal(self._left(GETFORK))
                 yield from api.poll(lambda: self.he_owns is ForkState.MINE)
+            else:
+                # Ask the left neighbor for its fork (non-blocking
+                # SIGNAL; completion means the fork was granted).
+                self.myrequest = yield from api.signal(self._left(GETFORK))
+                yield from api.poll(lambda: self.he_owns is ForkState.MINE)
+                while True:
+                    got = yield from self.grab_my_fork(api)
+                    if got and self.he_owns is ForkState.MINE:
+                        break
+                    # We may have been told to give the left fork back;
+                    # wait until it returns (§4.4.3's retest).
+                    if not got:
+                        yield api.idle()
+                    yield from api.poll(
+                        lambda: self.he_owns is ForkState.MINE
+                    )
             yield api.compute(self.eat_us)
             self.meals += 1
             completion = yield from api.b_signal(self._left(PUTFORK))

@@ -270,6 +270,9 @@ class CellResult:
     liveness_problems: List[str] = field(default_factory=list)
     selfheal_problems: List[str] = field(default_factory=list)
     degradation_problems: List[str] = field(default_factory=list)
+    #: Causal verdicts (``run_cell(..., causal=True)``): SODA010-013
+    #: diagnostics plus any streaming/batch checker disagreement.
+    causal_problems: List[str] = field(default_factory=list)
     spans_by_status: Dict[str, int] = field(default_factory=dict)
     faults: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, object] = field(default_factory=dict)
@@ -282,6 +285,7 @@ class CellResult:
             and not self.liveness_problems
             and not self.selfheal_problems
             and not self.degradation_problems
+            and not self.causal_problems
         )
 
     @property
@@ -299,6 +303,7 @@ class CellResult:
             "liveness_problems": list(self.liveness_problems),
             "selfheal_problems": list(self.selfheal_problems),
             "degradation_problems": list(self.degradation_problems),
+            "causal_problems": list(self.causal_problems),
             "spans_by_status": dict(sorted(self.spans_by_status.items())),
             "faults": dict(sorted(self.faults.items())),
             "recovery": self.recovery,
@@ -323,10 +328,14 @@ def run_cell(
     seed: int,
     scenario: Optional[Scenario] = None,
     policy: Optional[RetransmitPolicy] = None,
+    causal: bool = False,
 ) -> CellResult:
     """Run one chaos cell; ``scenario`` overrides the named schedule
     (used by the shrinker and by checked-in reproducers), ``policy``
-    overrides the adaptive default (used by the transport benchmark)."""
+    overrides the adaptive default (used by the transport benchmark).
+    ``causal`` additionally runs the causal analysis engine over the
+    cell's trace: SODA010-013 race/deadlock rules, plus an assertion
+    that the streaming invariant checker reproduces the batch verdicts."""
     built = build_workload(workload, seed=seed, config=chaos_config(policy))
     spec = built.spec
     if scenario is None:
@@ -337,6 +346,9 @@ def run_cell(
     net = built.net
 
     violations = check_network(net, strict_completion=False)
+    causal_problems: List[str] = []
+    if causal:
+        causal_problems = _causal_verdicts(net, violations)
     spans = build_spans(net.sim.trace.records)
     problems = check_liveness(net, spans=spans)
     selfheal = check_self_heal(built, scenario.last_action_us)
@@ -359,6 +371,7 @@ def run_cell(
         liveness_problems=problems,
         selfheal_problems=selfheal,
         degradation_problems=degradation,
+        causal_problems=causal_problems,
         recovery=recovery_summary(net.sim.trace.records),
         spans_by_status=by_status,
         faults={
@@ -371,6 +384,36 @@ def run_cell(
         },
         frames_sent=net.bus.frames_sent,
     )
+
+
+def _causal_verdicts(net, batch_violations) -> List[str]:
+    """The causal column of one cell: SODA010-013 diagnostics plus a
+    streaming-vs-batch checker agreement assertion."""
+    from repro.analysis.causal import (
+        build_causal_order,
+        check_stream,
+        detect_deadlocks,
+        find_races,
+    )
+
+    problems: List[str] = []
+    records = list(net.sim.trace.records)
+    stream = check_stream(
+        records, network=net, strict_completion=False, ledger=net.ledger
+    )
+    batch_fmt = [v.format() for v in batch_violations]
+    stream_fmt = [v.format() for v in stream]
+    if stream_fmt != batch_fmt:
+        problems.append(
+            f"streaming checker diverged from batch: "
+            f"{len(stream_fmt)} vs {len(batch_fmt)} verdict(s)"
+        )
+    order = build_causal_order(records)
+    for diag in find_races(records, order):
+        problems.append(diag.format())
+    for diag in detect_deadlocks(records):
+        problems.append(diag.format())
+    return problems
 
 
 def matrix_cells(
@@ -394,13 +437,14 @@ def run_matrix(
     schedules: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (1,),
     progress: Optional[Callable[[CellResult], None]] = None,
+    causal: bool = False,
 ) -> List[CellResult]:
     """Sweep the matrix; cells run in deterministic order."""
     results = []
     for workload, schedule, seed in matrix_cells(
         workloads, schedules, seeds
     ):
-        result = run_cell(workload, schedule, seed)
+        result = run_cell(workload, schedule, seed, causal=causal)
         results.append(result)
         if progress is not None:
             progress(result)

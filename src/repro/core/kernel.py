@@ -207,6 +207,10 @@ class SodaKernel:
         # client & boot state
         self.client: Optional[ClientProcessor] = None
         self._tid_watermark = 0
+        # Incarnation counter: bumped on every client reset (DIE, KILL,
+        # crash) so trace records and probe replies can name which life
+        # of this node an event belongs to (repro.analysis.causal).
+        self.epoch = 0
         self.kill_pattern: Pattern = DEFAULT_KILL_PATTERN
         self.boot_patterns: List[Pattern] = [boot_pattern_for(machine_type)]
         self._boot_active = True  # boot patterns advertised (no client)
@@ -310,9 +314,7 @@ class SodaKernel:
             return
         frame = self.nic.send(dst, packet, payload_bytes=packet.wire_payload_bytes())
         self.ledger.charge("transmission", self.nic.bus.serialization_us(frame))
-        self.sim.trace.record(
-            self.sim.now,
-            "kernel.tx",
+        fields = dict(
             mid=self.mid,
             dst=dst,
             ptype=packet.ptype.value,
@@ -325,7 +327,14 @@ class SodaKernel:
             pid=packet.packet_id,
             tid=packet.tid,
             ack=packet.ack,
+            # Send/receive correlation for the causal analysis engine
+            # (repro.analysis.causal): every transmission is a fresh
+            # frame, so the frame id pairs this tx with its rx(s).
+            fid=frame.frame_id,
         )
+        if packet.epoch is not None:
+            fields["epoch"] = packet.epoch
+        self.sim.trace.record(self.sim.now, "kernel.tx", **fields)
 
     def on_frame(self, frame: Frame) -> None:
         if self.offline_until is not None:
@@ -341,21 +350,30 @@ class SodaKernel:
         # backlog has drained by definition, which would blind the
         # overload controller to exactly the congestion it exists for.
         backlog = max(0.0, self._busy_until - self.sim.now)
-        self._kernel_work(charges, self._process_packet, frame.src, packet, backlog)
+        self._kernel_work(
+            charges,
+            self._process_packet,
+            frame.src,
+            packet,
+            backlog,
+            frame.frame_id,
+        )
 
     # ==================================================================
     # packet dispatch
     # ==================================================================
 
     def _process_packet(
-        self, src: int, packet: Packet, arrival_backlog_us: float = 0.0
+        self,
+        src: int,
+        packet: Packet,
+        arrival_backlog_us: float = 0.0,
+        fid: Optional[int] = None,
     ) -> None:
         if self.offline_until is not None:
             return
         self._arrival_backlog_us = arrival_backlog_us
-        self.sim.trace.record(
-            self.sim.now,
-            "kernel.rx",
+        fields = dict(
             mid=self.mid,
             src=src,
             ptype=packet.ptype.value,
@@ -367,7 +385,13 @@ class SodaKernel:
             # Retry hint as *received* — sodalint rule SODA007 binds a
             # client only to hints that actually reached it.
             hint=packet.retry_hint_us,
+            # Frame id pairs this rx with its kernel.tx (causal edge);
+            # None for traces replayed without NIC correlation.
+            fid=fid,
         )
+        if packet.epoch is not None:
+            fields["epoch"] = packet.epoch
+        self.sim.trace.record(self.sim.now, "kernel.rx", **fields)
         conn = self._conn(src)
         conn.note_heard()
         ptype = packet.ptype
@@ -721,9 +745,17 @@ class SodaKernel:
 
     def client_advertise(self, pattern: Pattern) -> None:
         self.patterns.advertise(pattern)
+        # Advertisement-table writes are traced so the causal race
+        # detector can watch the shared cell (repro.analysis.causal).
+        self.sim.trace.record(
+            self.sim.now, "kernel.advertise", mid=self.mid, pattern=pattern
+        )
 
     def client_unadvertise(self, pattern: Pattern) -> None:
         self.patterns.unadvertise(pattern)
+        self.sim.trace.record(
+            self.sim.now, "kernel.unadvertise", mid=self.mid, pattern=pattern
+        )
 
     def client_getuniqueid(self) -> Pattern:
         return self.uidgen.next_pattern()
@@ -1284,6 +1316,10 @@ class SodaKernel:
             PacketType.PROBE_REPLY,
             tid=packet.tid,
             arg=arg,
+            # Which incarnation is vouching: a reply carrying a newer
+            # epoch than the delivery proves the answering kernel is not
+            # the one that holds the REQUEST (repro.analysis.causal).
+            epoch=self.epoch,
         )
         conn.attach_piggyback(reply)
         self.transmit_packet(src, reply, sequenced=False)
@@ -1584,7 +1620,10 @@ class SodaKernel:
         # Every TID issued so far belongs to the dead incarnation; an
         # ACCEPT naming one must be answered CRASHED, not CANCELLED
         # (§3.6.1 "stale" ACCEPTs).
-        self.sim.trace.record(self.sim.now, "kernel.client_reset", mid=self.mid)
+        self.epoch += 1
+        self.sim.trace.record(
+            self.sim.now, "kernel.client_reset", mid=self.mid, epoch=self.epoch
+        )
         self._tid_watermark = self.uidgen.counter
         self.patterns.clear()
         self.completion_queue.clear()

@@ -187,11 +187,14 @@ class Switchboard(ClientProgram):
         entry = self.directory.get(params)
         return _encode_entry(entry) if entry is not None else b""
 
+    # Delegation, not re-entry: the kernel dispatched THIS program's
+    # entry point, which forwards to the composed RpcServer's same-named
+    # method in the same invocation.
     def initialization(self, api, parent_mid):
-        yield from self._rpc.initialization(api, parent_mid)
+        yield from self._rpc.initialization(api, parent_mid)  # sodalint: disable=SODA004
 
     def handler(self, api, event):
-        yield from self._rpc.handler(api, event)
+        yield from self._rpc.handler(api, event)  # sodalint: disable=SODA004
 
     def task(self, api):
         yield from self._rpc.task(api)

@@ -103,6 +103,11 @@ class Packet:
     reply_mid: Optional[int] = None
     query_token: Optional[int] = None
 
+    #: Incarnation of the sending kernel's client, carried on probe
+    #: replies so the requester (and the causal analysis engine) can
+    #: tell which life of the server vouched for the answer.
+    epoch: Optional[int] = None
+
     #: Boot support: an executable image rides the data path (see
     #: repro.core.boot); the bytes in ``data`` stand in for its size.
     image: Any = None

@@ -1,13 +1,14 @@
-"""CLI surface: `python -m repro lint` and `python -m repro check-trace`."""
+"""CLI surface: `python -m repro lint`, `check-trace`, and `causal`."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.__main__ import main
-from repro.analysis.cli import run_check_trace, run_lint
+from repro.analysis.cli import run_causal, run_check_trace, run_lint
 
 ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -56,8 +57,64 @@ def test_check_trace_rejects_unknown_workload():
     assert status != 0
 
 
+def test_check_trace_streaming_agrees(tmp_path):
+    lines, out = collect()
+    json_path = tmp_path / "trace.json"
+    status = run_check_trace(
+        ["--streaming", "echo"], out=out, json_path=str(json_path)
+    )
+    assert status == 0
+    assert any("echo: ok" in line and "streaming" in line for line in lines)
+    body = json.loads(json_path.read_text())["body"]
+    assert body["streaming"] is True
+    assert body["workloads"][0]["streaming_agrees"] is True
+
+
+def test_causal_defaults_to_the_clean_workloads():
+    lines, out = collect()
+    status = run_causal(["echo", "signal"], out=out)
+    assert status == 0
+    assert any("causal: 2/2 workload(s) clean" in line for line in lines)
+
+
+def test_causal_flags_the_noarb_philosophers(tmp_path):
+    lines, out = collect()
+    json_path = tmp_path / "causal.json"
+    status = run_causal(
+        ["philosophers_noarb"], out=out, json_path=str(json_path)
+    )
+    assert status == 1
+    assert any("SODA013" in line for line in lines)
+    body = json.loads(json_path.read_text())["body"]
+    assert any(
+        "SODA013" in diag
+        for wl in body["workloads"]
+        for diag in wl["diagnostics"]
+    )
+
+
+def test_causal_rejects_unknown_workload():
+    lines, out = collect()
+    assert run_causal(["no-such-workload"], out=out) == 1
+
+
+def test_lint_json_snapshot(tmp_path):
+    lines, out = collect()
+    json_path = tmp_path / "lint.json"
+    status = run_lint(
+        [str(FIXTURES / "bad_soda001.py")], out=out, json_path=str(json_path)
+    )
+    assert status == 1
+    payload = json.loads(json_path.read_text())
+    assert payload["schema"] == "soda.bench/1"
+    assert any(
+        f["rule_id"] == "SODA001" for f in payload["body"]["findings"]
+    )
+
+
 def test_main_help_mentions_analysis_commands():
     import repro.__main__ as entry
 
     assert "lint" in entry.__doc__
     assert "check-trace" in entry.__doc__
+    assert "causal" in entry.__doc__

@@ -1,0 +1,234 @@
+"""Streaming invariant checker: byte-identical verdicts to the batch
+checker on real runs and fabricated violations, with O(open-state)
+retained memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.causal import IncrementalChecker, check_stream
+from repro.analysis.invariants import InvariantChecker, check_network
+from repro.analysis.workloads import WORKLOADS, build_workload, run_workload
+from repro.sim.tracing import CostLedger, Tracer
+from repro.transport.retransmit import RetransmitPolicy
+
+GATE_CELLS = sorted(WORKLOADS)
+
+
+def formatted(violations):
+    return [v.format() for v in violations]
+
+
+def batch_check(trace, ledger=None, **kwargs):
+    kwargs.setdefault("policy", RetransmitPolicy())
+    return InvariantChecker(**kwargs).check(trace, ledger=ledger)
+
+
+def stream_check(trace, ledger=None, **kwargs):
+    kwargs.setdefault("policy", RetransmitPolicy())
+    checker = IncrementalChecker(**kwargs)
+    for rec in trace.records:
+        checker.feed(rec)
+    return checker.finish(ledger=ledger)
+
+
+def assert_identical(trace, ledger=None, **kwargs):
+    batch = formatted(batch_check(trace, ledger, **kwargs))
+    stream = formatted(stream_check(trace, ledger, **kwargs))
+    assert stream == batch
+    return batch
+
+
+# -- identical verdicts on real workload traces ------------------------
+
+
+@pytest.mark.parametrize("name", GATE_CELLS)
+def test_post_hoc_stream_matches_batch(name):
+    net = run_workload(name)
+    batch = formatted(check_network(net, strict_completion=True))
+    stream = formatted(
+        check_stream(
+            list(net.sim.trace.records),
+            network=net,
+            strict_completion=True,
+            ledger=net.ledger,
+        )
+    )
+    assert stream == batch == []
+
+
+def test_live_sink_matches_post_hoc_replay():
+    built = build_workload("stream")
+    live = IncrementalChecker(network=built.net, strict_completion=True)
+    live.install(built.net)
+    net = built.run()
+    live_verdicts = formatted(live.finish(ledger=net.ledger))
+    replay = formatted(
+        check_stream(
+            list(net.sim.trace.records),
+            network=net,
+            strict_completion=True,
+            ledger=net.ledger,
+        )
+    )
+    assert live_verdicts == replay
+    assert live.records_checked == len(net.sim.trace.records)
+
+
+# -- identical verdicts on fabricated violations -----------------------
+
+
+def tx(trace, t, seq, pid, mid=1, dst=2, **fields):
+    trace.record(
+        t, "kernel.tx", mid=mid, dst=dst, seq=seq, pid=pid, **fields
+    )
+
+
+def test_inv_seq_reused_bit_matches():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 100.0, 0, 2)
+    verdicts = assert_identical(trace)
+    assert any("INV-SEQ" in v for v in verdicts)
+
+
+def test_inv_deltat_window_matches():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 10_000_000.0, 0, 1)
+    verdicts = assert_identical(trace)
+    assert any("INV-DELTAT" in v for v in verdicts)
+
+
+def test_inv_deltat_attempt_count_matches():
+    policy = RetransmitPolicy()
+    trace = Tracer()
+    for i in range(policy.max_ack_attempts + 2):
+        tx(trace, i * 100.0, 0, 1)
+    verdicts = assert_identical(trace)
+    assert any("INV-DELTAT" in v for v in verdicts)
+
+
+def test_busy_nack_clears_pending_verdicts_in_both():
+    # The message overruns its window, is retired by a fresh pid, and
+    # only THEN does the BUSY arrive: the batch checker forgives the
+    # whole connection at finalize time, so streaming must drop the
+    # already-computed verdict too.
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 10_000_000.0, 0, 1)
+    tx(trace, 10_000_100.0, 1, 2)  # retires pid 1 with a dirty verdict
+    trace.record(10_000_200.0, "kernel.rx", mid=1, src=2, nack="busy")
+    assert assert_identical(trace) == []
+
+
+def test_seq_swap_drops_parked_pid_in_both():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 10_000_000.0, 0, 1)  # dirty: would violate INV-DELTAT
+    trace.record(
+        10_000_100.0,
+        "conn.seq_swap",
+        mid=1,
+        peer=2,
+        parked_pid=1,
+        taker_pid=2,
+        seq=0,
+    )
+    tx(trace, 10_000_200.0, 0, 2)
+    assert assert_identical(trace) == []
+
+
+def test_crash_forgets_connections_in_both():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    tx(trace, 10_000_000.0, 0, 1)
+    trace.record(10_000_100.0, "kernel.crash", mid=1)
+    assert assert_identical(trace) == []
+
+
+def test_handler_nesting_matches():
+    trace = Tracer()
+    trace.record(0.0, "kernel.interrupt", mid=3)
+    trace.record(10.0, "kernel.interrupt", mid=3)
+    verdicts = assert_identical(trace)
+    assert any("INV-HANDLER" in v for v in verdicts)
+
+
+def test_illegal_transition_matches():
+    trace = Tracer()
+    trace.record(
+        0.0, "kernel.delivered_state", mid=2, src=1, tid=7, state="accepted"
+    )
+    verdicts = assert_identical(trace)
+    assert any("INV-COMPLETE" in v for v in verdicts)
+
+
+def test_strict_completion_leak_matches():
+    trace = Tracer()
+    trace.record(
+        0.0, "kernel.delivered_state", mid=2, src=1, tid=7, state="delivered"
+    )
+    leak = assert_identical(trace, strict_completion=True)
+    assert any("INV-COMPLETE" in v for v in leak)
+    assert assert_identical(trace, strict_completion=False) == []
+
+
+def test_ledger_audit_matches():
+    ledger = CostLedger()
+    ledger.charge("protocol", 10.0)
+    ledger.charge("bogus", 1.0)
+    verdicts = assert_identical(Tracer(), ledger=ledger)
+    assert any("INV-LEDGER" in v for v in verdicts)
+
+
+def test_soda007_hint_violation_matches():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1, tid=7)
+    trace.record(
+        500.0, "kernel.rx", mid=1, src=2, nack="busy", hint=50_000.0, tid=7
+    )
+    tx(trace, 10_000.0, 0, 1, tid=7)
+    verdicts = assert_identical(trace)
+    assert any("SODA007" in v for v in verdicts)
+
+
+# -- streaming semantics -----------------------------------------------
+
+
+def test_feed_after_finish_is_an_error():
+    checker = IncrementalChecker(policy=RetransmitPolicy())
+    checker.finish()
+    with pytest.raises(RuntimeError):
+        checker.feed(next(iter(_one_record_trace().records)))
+
+
+def _one_record_trace():
+    trace = Tracer()
+    tx(trace, 0.0, 0, 1)
+    return trace
+
+
+def test_open_state_stays_sublinear_on_a_long_run():
+    """The whole point of the streaming rewrite: retained state tracks
+    *open* transactions, not trace length."""
+    built = build_workload("stream")
+    checker = IncrementalChecker(network=built.net, strict_completion=True)
+    checker.install(built.net)
+    net = built.run()
+    checker.finish(ledger=net.ledger)
+    assert checker.records_checked > 300
+    assert checker.peak_open_state * 10 < checker.records_checked
+    assert checker.peak_open_state < 40
+
+
+def test_violations_surface_mid_stream():
+    checker = IncrementalChecker(policy=RetransmitPolicy())
+    trace = Tracer()
+    trace.record(0.0, "kernel.interrupt", mid=3)
+    trace.record(10.0, "kernel.interrupt", mid=3)
+    for rec in trace.records:
+        checker.feed(rec)
+    # INV-HANDLER is detectable the moment the nested interrupt lands,
+    # before finish() runs the end-of-trace passes.
+    assert any(v.invariant == "INV-HANDLER" for v in checker.violations)

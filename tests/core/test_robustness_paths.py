@@ -55,10 +55,10 @@ def test_probe_for_unknown_request_reports_dead(network):
     replies = []
     original = other.kernel._process_packet
 
-    def spy(src, packet, arrival_backlog_us=0.0):
+    def spy(src, packet, arrival_backlog_us=0.0, fid=None):
         if packet.ptype is PacketType.PROBE_REPLY:
             replies.append(packet.arg)
-        original(src, packet, arrival_backlog_us)
+        original(src, packet, arrival_backlog_us, fid)
 
     other.kernel._process_packet = spy
     inject(network, other, 0, Packet(PacketType.PROBE, tid=424242))
@@ -108,10 +108,10 @@ def test_forged_accept_for_never_issued_tid_nacked(network):
     seen = []
     original = attacker.kernel._process_packet
 
-    def spy(src, packet, arrival_backlog_us=0.0):
+    def spy(src, packet, arrival_backlog_us=0.0, fid=None):
         if packet.ptype is PacketType.NACK:
             seen.append(packet.nack_code)
-        original(src, packet, arrival_backlog_us)
+        original(src, packet, arrival_backlog_us, fid)
 
     attacker.kernel._process_packet = spy
     inject(

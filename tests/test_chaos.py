@@ -146,6 +146,29 @@ def test_matrix_enumeration_covers_at_least_24_cells():
     assert cells == sorted(cells)
 
 
+def test_causal_only_workloads_stay_out_of_the_matrix():
+    # philosophers_noarb deadlocks by design (SODA013 demo); it must
+    # never enter the standard sweep, which asserts liveness.
+    assert all("philosophers_noarb" not in cell for cell in matrix_cells())
+    assert "philosophers_noarb" not in WORKLOADS
+
+
+# ---------------------------------------------------------------------------
+# Causal verdict column (--causal): streaming/batch agreement per cell.
+
+
+def test_causal_column_is_clean_on_a_gate_cell():
+    result = run_cell("echo", "sustained_loss", seed=1, causal=True)
+    assert result.causal_problems == []
+    assert result.ok
+    assert "causal_problems" in result.to_dict()
+
+
+def test_causal_column_defaults_off():
+    result = run_cell("echo", "calm", seed=1)
+    assert result.causal_problems == []
+
+
 # ---------------------------------------------------------------------------
 # Shrinker + reproducer formatting (synthetic predicate: no sim runs).
 
@@ -220,6 +243,20 @@ def test_full_matrix_is_clean():
     report = "\n".join(
         f"{r.workload}/{r.schedule}: "
         + "; ".join(r.invariant_violations + r.liveness_problems)
+        for r in failed
+    )
+    assert not failed, report
+
+
+@pytest.mark.chaos
+def test_full_matrix_streaming_verdicts_match_batch():
+    """Every (workload × schedule) cell: the streaming checker must
+    produce byte-identical verdicts to the batch replay, and the causal
+    rules must stay silent on surviving-the-chaos runs."""
+    results = run_matrix(seeds=(1,), causal=True)
+    failed = [r for r in results if r.causal_problems]
+    report = "\n".join(
+        f"{r.workload}/{r.schedule}: " + "; ".join(r.causal_problems)
         for r in failed
     )
     assert not failed, report

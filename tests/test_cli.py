@@ -63,7 +63,10 @@ def test_chaos_matrix_failure_exits_nonzero(capsys, monkeypatch):
         liveness_problems=["span <1,1> never terminal"],
     )
 
-    def fake_matrix(workloads=None, schedules=None, seeds=(1,), progress=None):
+    def fake_matrix(
+        workloads=None, schedules=None, seeds=(1,), progress=None,
+        causal=False,
+    ):
         if progress is not None:
             progress(failing)
         return [failing]
