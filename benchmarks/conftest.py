@@ -49,8 +49,14 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 terminalreporter.write_line(line)
     target = config.getoption("--bench-json")
     if target and _PAYLOADS:
-        from repro.obs.export import snapshot_payload, write_snapshot
+        from repro.obs.export import emit_snapshot
 
         body = {name: _PAYLOADS[name] for name in sorted(_PAYLOADS)}
-        write_snapshot(target, snapshot_payload("benchmark_suite", body))
-        terminalreporter.write_line(f"benchmark payloads written to {target}")
+        emit_snapshot(
+            target,
+            "benchmark_suite",
+            body,
+            out=lambda line: terminalreporter.write_line(
+                f"benchmark payloads: {line}"
+            ),
+        )

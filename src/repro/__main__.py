@@ -23,6 +23,13 @@
                                       # under sustained_loss (ISSUE 5)
     python -m repro recover --demo    # crash → detect → reboot → retry
                                       # walkthrough (repro.recovery)
+    python -m repro real <workload> [--seed N] [--policy P] [--loss F]
+                          [--keep-traces DIR]
+                                      # run over real UDP sockets, one OS
+                                      # process per node (repro.netreal)
+    python -m repro real-bench [--seed N]
+                                      # sim-vs-real policy comparison
+                                      # under injected loss
 
 The benchmark and analysis commands (tables, breakdown, comparison,
 deltat, metrics, lint, check-trace, causal, causal-bench) accept
@@ -50,10 +57,9 @@ def _take_flag_value(argv: List[str], flag: str) -> Optional[str]:
 
 
 def _write_payload(json_path: str, kind: str, body, meta=None) -> None:
-    from repro.obs.export import snapshot_payload, write_snapshot
+    from repro.obs.export import emit_snapshot
 
-    write_snapshot(json_path, snapshot_payload(kind, body, meta=meta))
-    print(f"wrote {json_path}")
+    emit_snapshot(json_path, kind, body, meta=meta)
 
 
 def _quickstart() -> None:
@@ -477,6 +483,118 @@ def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
     return 0 if healed else 1
 
 
+def _real(argv: List[str], json_path: Optional[str] = None) -> int:
+    """``real <workload>``: the SODA stack over real sockets."""
+    from repro.netreal.runner import run_real
+
+    seed_text = _take_flag_value(argv, "--seed")
+    policy = _take_flag_value(argv, "--policy") or "adaptive"
+    loss_text = _take_flag_value(argv, "--loss")
+    keep_traces = _take_flag_value(argv, "--keep-traces")
+    workload = argv[0] if argv else "pingpong"
+    try:
+        result = run_real(
+            workload,
+            seed=int(seed_text) if seed_text else 1,
+            policy=policy,
+            loss=float(loss_text) if loss_text else 0.0,
+            keep_traces=keep_traces,
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+    print(
+        f"  spans: {result.spans_completed}/{result.spans_total} completed, "
+        f"{result.send_edges} causal send edges, "
+        f"{result.unmatched_rx} unmatched rx"
+    )
+    if result.rtt_p50_us is not None:
+        print(
+            f"  rtt: p50={result.rtt_p50_us / 1000.0:.2f} ms "
+            f"p99={result.rtt_p99_us / 1000.0:.2f} ms; "
+            f"retransmits={result.retransmits} "
+            f"(spurious={result.spurious_retransmits}), "
+            f"impaired losses={result.impaired_losses}"
+        )
+    for line in (
+        result.invariant_violations
+        + result.causal_diagnostics
+        + result.runner_problems
+    ):
+        print(f"  PROBLEM: {line}")
+    print(f"real: {'ok' if result.ok else 'FAILED'}")
+    if json_path:
+        _write_payload(
+            json_path,
+            "real_run",
+            result.to_dict(),
+            meta={"workload": workload},
+        )
+    return 0 if result.ok else 1
+
+
+def _real_bench(argv: List[str], json_path: Optional[str] = None) -> int:
+    """``real-bench``: sim-vs-real policy table (BENCH_real.json)."""
+    from repro.bench.tables import format_table
+    from repro.netreal.bench import run_real_bench
+
+    seed_text = _take_flag_value(argv, "--seed")
+    body = run_real_bench(seed=int(seed_text) if seed_text else 1)
+
+    def _ms(value) -> object:
+        return "-" if value is None else round(value / 1000.0, 2)
+
+    rows = []
+    for backend in ("sim", "real"):
+        for policy in ("static", "adaptive"):
+            cell = body["backends"][backend][policy]
+            rows.append(
+                (
+                    f"{backend}/{policy}",
+                    cell["completed_exchanges"],
+                    _ms(cell["latency_p50_us"]),
+                    _ms(cell["latency_p99_us"]),
+                    _ms(cell["rtt_p50_us"]),
+                    cell["retransmits"],
+                    _ms(cell["recovery_wait_mean_us"]),
+                    round(cell["goodput_exchanges_per_s"] or 0.0, 1),
+                )
+            )
+    print(
+        format_table(
+            [
+                "backend/policy",
+                "done",
+                "lat p50 ms",
+                "lat p99 ms",
+                "rtt p50 ms",
+                "retx",
+                "recover ms",
+                "xchg/s",
+            ],
+            rows,
+            title=f"Sim vs real under {body['loss']:.0%} loss",
+        )
+    )
+    comparison = body["comparison"]
+    wins = comparison["adaptive_recovers_faster_real"]
+    waits = comparison["recovery_wait_mean_us"]
+    print(
+        f"mean recovery wait per lost frame (real): "
+        f"static {_ms(waits['static'])} ms, "
+        f"adaptive {_ms(waits['adaptive'])} ms"
+    )
+    print(f"adaptive recovers faster than static (real): {wins}")
+    if json_path:
+        _write_payload(
+            json_path,
+            "real_bench",
+            body,
+            meta={"seed": body["seed"]},
+        )
+    return 0 if wins else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     json_path = _take_flag_value(argv, "--json")
@@ -500,6 +618,14 @@ def main(argv=None) -> int:
         return _transport_bench(argv[1:], json_path=json_path)
     elif command == "recover":
         return _recover(argv[1:], json_path=json_path)
+    elif command == "real":
+        return _real(argv[1:], json_path=json_path)
+    elif command == "real-node":
+        from repro.netreal.runner import run_real_node
+
+        return run_real_node(argv[1:])
+    elif command == "real-bench":
+        return _real_bench(argv[1:], json_path=json_path)
     elif command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -22,7 +22,7 @@ from repro.analysis.workloads import (
     build_workload,
     run_workload,
 )
-from repro.obs.export import snapshot_payload, write_snapshot
+from repro.obs.export import emit_snapshot
 
 #: Linted by default: the repo's own client programs.
 DEFAULT_LINT_PATHS = ("src/repro/apps", "examples")
@@ -30,8 +30,7 @@ DEFAULT_LINT_PATHS = ("src/repro/apps", "examples")
 
 def _emit(json_path: Optional[str], kind: str, body: Dict[str, Any], out) -> None:
     if json_path:
-        target = write_snapshot(json_path, snapshot_payload(kind, body))
-        out(f"wrote {target}")
+        emit_snapshot(json_path, kind, body, out=out)
 
 
 def run_lint(

@@ -234,6 +234,12 @@ class Connection:
             peer=self.peer_mid,
             kind=message.kind,
             attempt=message.attempts,
+            # Realized recovery wait: how long this copy went unacked
+            # before the RTO fired.  The sim-vs-real bench compares the
+            # mean across policies (static 60ms+backoff vs adaptive's
+            # estimated RTO), which is the structural claim a wall
+            # clock can't blur.
+            waited_us=self.sim.now - message.last_tx_us,
         )
         if self.estimator is not None:
             self.estimator.back_off(

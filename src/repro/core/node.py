@@ -32,11 +32,15 @@ class SodaNode:
         machine_type: str = "generic",
         config: Optional[KernelConfig] = None,
         name: Optional[str] = None,
+        nic: Optional[NetworkInterface] = None,
     ) -> None:
         self.network = network
         self.mid = mid
         self.name = name or f"node{mid}"
-        self.nic = NetworkInterface(network.bus, mid)
+        # An injected interface lets alternative backends (the UDP NIC
+        # of repro.netreal) host an unmodified kernel; the default wires
+        # up the simulated bus as always.
+        self.nic = nic or NetworkInterface(network.bus, mid)
         self.kernel = SodaKernel(
             network.sim,
             self.nic,

@@ -7,7 +7,7 @@ an injectable fault model (loss, CRC corruption).
 """
 
 from repro.net.errors import FaultPlan
-from repro.net.frame import BROADCAST_MID, Frame
+from repro.net.frame import BROADCAST_MID, Frame, sender_frame_ids
 from repro.net.medium import BroadcastBus
 from repro.net.nic import NetworkInterface
 
@@ -17,4 +17,5 @@ __all__ = [
     "FaultPlan",
     "Frame",
     "NetworkInterface",
+    "sender_frame_ids",
 ]

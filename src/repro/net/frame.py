@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 #: Special machine identifier recognized by all Megalink interfaces.
 BROADCAST_MID = -1
+
+#: Bits below the per-sender namespace in a distributed frame id.
+FRAME_ID_SENDER_SHIFT = 32
 
 #: Link+transport header size in bytes: source/destination MIDs, CRC,
 #: alternating-bit state, packet-type flags, and the SODA tag (pattern,
@@ -22,6 +25,24 @@ BROADCAST_MID = -1
 FRAME_HEADER_BYTES = 24
 
 _frame_ids = itertools.count(1)
+
+
+def sender_frame_ids(mid: int) -> Iterator[int]:
+    """Frame ids namespaced to one sender, for multi-process backends.
+
+    The simulator's module-global counter guarantees unique frame ids
+    within one process, and the causal engine joins ``kernel.tx`` to
+    ``kernel.rx`` records by that id.  When each node is its own OS
+    process (repro.netreal) every process would restart the counter at
+    1, so the id carries the sender's MID in the high bits instead:
+    ``(mid + 1) << FRAME_ID_SENDER_SHIFT | counter``.  The ``+ 1`` keeps
+    every namespaced id above the plain counter range, so a merged
+    trace can even coexist with simulator-issued ids.
+    """
+    if mid < 0:
+        raise ValueError(f"sender MIDs are non-negative: {mid}")
+    base = (mid + 1) << FRAME_ID_SENDER_SHIFT
+    return (base | n for n in itertools.count(1))
 
 
 @dataclass

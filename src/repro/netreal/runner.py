@@ -1,0 +1,489 @@
+"""Multi-process runner: one OS process per SODA node.
+
+``python -m repro real <workload>`` drives the parent side; each child
+is ``python -m repro real-node ...`` (internal).  The choreography:
+
+1. parent opens a TCP *control socket* on loopback and spawns one child
+   per workload role;
+2. each child builds a single-node :class:`~repro.netreal.node.
+   RealNetwork`, binds its UDP socket, and sends ``hello`` (mid + port);
+3. once all hellos are in, the parent broadcasts ``start``: the full
+   MID -> address registry, a shared CLOCK_MONOTONIC *epoch* a moment
+   in the future, and the horizon; every child anchors t=0µs to that
+   epoch, so boot offsets and trace timestamps agree across processes;
+4. children run to the horizon, dump their traces as JSONL
+   (:mod:`repro.netreal.trace_io`), report ``done``, and exit;
+5. the parent merges the traces by wall-clock timestamp and runs the
+   *standard* analysis stack over the merged stream: the batch
+   invariant checker (INV-SEQ/DELTAT/HANDLER/COMPLETE/LEDGER, SODA007),
+   the causal engine (SODA010-013), and a post-hoc
+   :class:`~repro.obs.instrument.MetricsHub`.
+
+Every wait carries a hard timeout and stragglers are killed: a wedged
+child can fail the run but never hang it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.netreal.node import RealNetwork
+from repro.netreal.trace_io import dump_trace, merge_traces, tracer_from_records
+from repro.netreal.udp import Impairments
+from repro.netreal.workloads import get_real_spec
+from repro.transport.retransmit import RetransmitPolicy
+
+#: Seconds between spawning children and the shared epoch.
+START_GRACE_S = 0.75
+
+#: Seconds past the horizon before stragglers are declared wedged.
+DONE_GRACE_S = 15.0
+
+
+def policy_for(name: str) -> RetransmitPolicy:
+    from repro.transport.adaptive import AdaptivePolicy
+    from repro.transport.retransmit import StaticPolicy
+
+    if name == "static":
+        return StaticPolicy()
+    if name == "adaptive":
+        return AdaptivePolicy()
+    raise ValueError(f"unknown policy {name!r} (static|adaptive)")
+
+
+def _config_for(policy_name: str):
+    # chaos_config harmonizes Delta-t windows with the retransmit
+    # policy, exactly as the chaos harness runs the sim backend.
+    from repro.chaos.runner import chaos_config
+
+    return chaos_config(policy_for(policy_name))
+
+
+@dataclass
+class RealRunResult:
+    """Everything the parent learned from one multi-process run."""
+
+    workload: str
+    seed: int
+    policy: str
+    loss: float
+    processes: int
+    records: int
+    invariant_violations: List[str] = field(default_factory=list)
+    causal_diagnostics: List[str] = field(default_factory=list)
+    runner_problems: List[str] = field(default_factory=list)
+    send_edges: int = 0
+    unmatched_rx: int = 0
+    spans_total: int = 0
+    spans_completed: int = 0
+    rtt_p50_us: Optional[float] = None
+    rtt_p99_us: Optional[float] = None
+    spurious_retransmits: int = 0
+    retransmits: int = 0
+    decode_errors: int = 0
+    impaired_losses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.invariant_violations
+            or self.causal_diagnostics
+            or self.runner_problems
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "policy": self.policy,
+            "loss": self.loss,
+            "processes": self.processes,
+            "records": self.records,
+            "ok": self.ok,
+            "invariant_violations": self.invariant_violations,
+            "causal_diagnostics": self.causal_diagnostics,
+            "runner_problems": self.runner_problems,
+            "send_edges": self.send_edges,
+            "unmatched_rx": self.unmatched_rx,
+            "spans": {
+                "total": self.spans_total,
+                "completed": self.spans_completed,
+            },
+            "rtt_p50_us": self.rtt_p50_us,
+            "rtt_p99_us": self.rtt_p99_us,
+            "spurious_retransmits": self.spurious_retransmits,
+            "retransmits": self.retransmits,
+            "decode_errors": self.decode_errors,
+            "impaired_losses": self.impaired_losses,
+        }
+
+
+def analyze_merged(
+    records, ledger, policy: RetransmitPolicy, result: RealRunResult
+) -> None:
+    """Run the standard analysis stack over one merged record stream."""
+    from repro.analysis.causal import (
+        build_causal_order,
+        detect_deadlocks,
+        find_races,
+    )
+    from repro.analysis.invariants import InvariantChecker
+    from repro.obs.instrument import MetricsHub
+
+    checker = InvariantChecker(policy=policy, strict_completion=True)
+    result.invariant_violations = [
+        v.format() for v in checker.check(tracer_from_records(records), ledger=ledger)
+    ]
+    order = build_causal_order(records)
+    diagnostics = find_races(records, order) + detect_deadlocks(records)
+    result.causal_diagnostics = [d.format() for d in diagnostics]
+    result.send_edges = order.send_edges
+    result.unmatched_rx = order.unmatched_rx
+
+    # The merged stream feeds the standard hub (records-only mode): the
+    # same metric names and span construction as a sim run.
+    report = MetricsHub().ingest_records(records, ledger=ledger.snapshot())
+    result.spans_total = len(report.spans)
+    result.spans_completed = len(report.completed_spans)
+    rtt = report.snapshot.get("transport.rtt_us")
+    if rtt is not None and rtt.get("count"):
+        result.rtt_p50_us = rtt["p50"]
+        result.rtt_p99_us = rtt["p99"]
+    result.spurious_retransmits = sum(
+        1 for rec in records if rec.category == "conn.spurious_retransmit"
+    )
+    result.retransmits = sum(
+        1 for rec in records if rec.category == "conn.retransmit"
+    )
+    result.decode_errors = sum(
+        1 for rec in records if rec.category == "netreal.decode_error"
+    )
+    result.impaired_losses = sum(
+        1 for rec in records if rec.category == "net.drop"
+    )
+
+
+# ---------------------------------------------------------------------------
+# parent
+# ---------------------------------------------------------------------------
+
+
+async def _parent(
+    workload: str,
+    seed: int,
+    policy_name: str,
+    loss: float,
+    trace_dir: Path,
+    out,
+    horizon_us: Optional[float],
+) -> RealRunResult:
+    spec = get_real_spec(workload)
+    horizon = float(horizon_us) if horizon_us else spec.until_us
+    count = len(spec.roles)
+    result = RealRunResult(
+        workload=workload,
+        seed=seed,
+        policy=policy_name,
+        loss=loss,
+        processes=count,
+        records=0,
+    )
+
+    hellos: Dict[int, Dict[str, Any]] = {}
+    dones: Dict[int, Dict[str, Any]] = {}
+    writers: Dict[int, asyncio.StreamWriter] = {}
+    progress = asyncio.Event()
+
+    async def handle(reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                message = json.loads(line)
+                if "hello" in message:
+                    hello = message["hello"]
+                    hellos[int(hello["mid"])] = hello
+                    writers[int(hello["mid"])] = writer
+                elif "done" in message:
+                    done = message["done"]
+                    dones[int(done["mid"])] = done
+                    progress.set()
+                    return  # the child is about to exit
+                progress.set()
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    control_port = server.sockets[0].getsockname()[1]
+
+    trace_paths = [trace_dir / f"trace-{mid}.jsonl" for mid in range(count)]
+    children: List[subprocess.Popen] = []
+    for mid in range(count):
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "real-node",
+            "--workload",
+            workload,
+            "--role",
+            str(mid),
+            "--seed",
+            str(seed),
+            "--policy",
+            policy_name,
+            "--loss",
+            repr(loss),
+            "--control",
+            str(control_port),
+            "--trace",
+            str(trace_paths[mid]),
+        ]
+        children.append(subprocess.Popen(argv))
+
+    async def gather(
+        have, needed: int, timeout_s: float, phase: str
+    ) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while len(have) < needed:
+            dead = [
+                mid
+                for mid, child in enumerate(children)
+                if child.poll() is not None and mid not in dones
+            ]
+            if dead:
+                result.runner_problems.append(
+                    f"{phase}: node process(es) {dead} exited early "
+                    f"(exit codes {[children[m].poll() for m in dead]})"
+                )
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                result.runner_problems.append(
+                    f"{phase}: timed out waiting for "
+                    f"{needed - len(have)}/{needed} node process(es)"
+                )
+                return False
+            progress.clear()
+            try:
+                await asyncio.wait_for(
+                    progress.wait(), timeout=min(remaining, 0.2)
+                )
+            except asyncio.TimeoutError:
+                pass
+        return True
+
+    try:
+        if await gather(hellos, count, 30.0, "startup"):
+            registry = {
+                str(mid): ["127.0.0.1", int(hello["port"])]
+                for mid, hello in hellos.items()
+            }
+            start = {
+                "start": {
+                    "registry": registry,
+                    "epoch_monotonic": time.monotonic() + START_GRACE_S,
+                    "horizon_us": horizon,
+                }
+            }
+            payload = (json.dumps(start) + "\n").encode("utf-8")
+            for mid in sorted(writers):
+                writers[mid].write(payload)
+                await writers[mid].drain()
+            out(
+                f"real: {workload} across {count} OS process(es) "
+                f"[policy={policy_name}, loss={loss:g}, "
+                f"horizon={horizon / 1e6:.1f}s]"
+            )
+            await gather(
+                dones,
+                count,
+                START_GRACE_S + horizon / 1e6 + DONE_GRACE_S,
+                "run",
+            )
+    finally:
+        server.close()
+        await server.wait_closed()
+        # Children that reported done exit on their own momentarily;
+        # give them that moment before reaching for terminate().
+        for mid, child in enumerate(children):
+            if mid in dones:
+                try:
+                    child.wait(timeout=5)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        for child in children:
+            if child.poll() is None:
+                child.terminate()
+        for child in children:
+            try:
+                child.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                child.kill()
+                child.wait()
+
+    failed = [
+        mid
+        for mid, child in enumerate(children)
+        if child.returncode != 0 or mid not in dones
+    ]
+    if failed and not result.runner_problems:
+        result.runner_problems.append(
+            f"node process(es) {failed} did not finish cleanly"
+        )
+
+    present = [path for path in trace_paths if path.exists()]
+    if len(present) == count:
+        metas, merged, ledger = merge_traces(present)
+        result.records = len(merged)
+        out(
+            f"  merged {len(merged)} trace records from "
+            f"{len(present)} process(es)"
+        )
+        analyze_merged(merged, ledger, policy_for(policy_name), result)
+    elif not result.runner_problems:  # pragma: no cover - defensive
+        result.runner_problems.append(
+            f"only {len(present)}/{count} trace file(s) were written"
+        )
+    return result
+
+
+def run_real(
+    workload: str,
+    seed: int = 1,
+    policy: str = "adaptive",
+    loss: float = 0.0,
+    out=print,
+    horizon_us: Optional[float] = None,
+    keep_traces: Optional[str] = None,
+) -> RealRunResult:
+    """Run one workload across real OS processes and analyze the merge."""
+    if keep_traces:
+        trace_dir = Path(keep_traces)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        return asyncio.run(
+            _parent(workload, seed, policy, loss, trace_dir, out, horizon_us)
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-real-") as tmp:
+        return asyncio.run(
+            _parent(workload, seed, policy, loss, Path(tmp), out, horizon_us)
+        )
+
+
+# ---------------------------------------------------------------------------
+# child (``python -m repro real-node``, internal)
+# ---------------------------------------------------------------------------
+
+
+async def _child(
+    net: RealNetwork,
+    workload: str,
+    role_index: int,
+    seed: int,
+    policy_name: str,
+    loss: float,
+    control_port: int,
+    trace_path: str,
+) -> None:
+    spec = get_real_spec(workload)
+    role = spec.roles[role_index]
+    net.add_node(
+        mid=role_index,
+        program=role.factory(),
+        name=role.name,
+        boot_at_us=role.boot_at_us,
+    )
+    addresses = await net.open()
+
+    reader, writer = await asyncio.open_connection("127.0.0.1", control_port)
+    hello = {
+        "hello": {"mid": role_index, "port": addresses[role_index][1]}
+    }
+    writer.write((json.dumps(hello) + "\n").encode("utf-8"))
+    await writer.drain()
+
+    line = await asyncio.wait_for(reader.readline(), timeout=60.0)
+    if not line:
+        raise RuntimeError("control socket closed before start")
+    start = json.loads(line)["start"]
+    net.bus.set_registry(
+        {int(mid): tuple(addr) for mid, addr in start["registry"].items()}
+    )
+    await net.run_async(
+        float(start["horizon_us"]),
+        epoch_monotonic=float(start["epoch_monotonic"]),
+    )
+
+    records = list(net.sim.trace.records)
+    dump_trace(
+        trace_path,
+        records,
+        meta={
+            "mid": role_index,
+            "role": role.name,
+            "workload": workload,
+            "seed": seed,
+            "policy": policy_name,
+            "loss": loss,
+            "ledger": net.ledger.snapshot(),
+            "records": len(records),
+        },
+    )
+    done = {"done": {"mid": role_index, "records": len(records)}}
+    writer.write((json.dumps(done) + "\n").encode("utf-8"))
+    await writer.drain()
+    writer.close()
+    net.bus.close()
+
+
+def run_real_node(argv: List[str]) -> int:
+    """Entry point for one node process (not for interactive use)."""
+    args: Dict[str, str] = {}
+    key: Optional[str] = None
+    for token in argv:
+        if token.startswith("--"):
+            key = token[2:]
+        elif key is not None:
+            args[key] = token
+            key = None
+    workload = args["workload"]
+    role_index = int(args["role"])
+    seed = int(args.get("seed", "1"))
+    policy_name = args.get("policy", "adaptive")
+    loss = float(args.get("loss", "0"))
+    impairments = (
+        Impairments(loss_probability=loss) if loss > 0.0 else None
+    )
+    net = RealNetwork(
+        seed=seed, config=_config_for(policy_name), impairments=impairments
+    )
+    try:
+        # The whole child — control handshake included — runs on the
+        # scheduler's own event loop: the UDP endpoints and kernel
+        # timers must share one loop.
+        net.sim.loop.run_until_complete(
+            _child(
+                net,
+                workload,
+                role_index,
+                seed,
+                policy_name,
+                loss,
+                int(args["control"]),
+                args["trace"],
+            )
+        )
+    finally:
+        net.close()
+    return 0

@@ -1,0 +1,239 @@
+"""Binary wire codec for :class:`repro.net.frame.Frame`.
+
+The simulator hands Python objects between NICs; a real UDP backend
+needs bytes.  One frame maps to one datagram:
+
+.. code-block:: text
+
+    octets  field
+    2       magic  "SW"
+    1       version (1)
+    4       CRC-32 of everything after this field
+    1       packet type (PacketType index)
+    4+4     src MID, dst MID        (signed; dst may be BROADCAST_MID)
+    8       frame id                (per-sender namespaced, see
+                                     repro.net.frame.sender_frame_ids)
+    4       field-presence flags
+    ...     optional packet fields, in FIELD table order
+    4+N     length-prefixed data bytes (present iff FLAG_DATA)
+
+Only fields whose flag bit is set are on the wire, so a pure ACK is 28
+octets.  Two boolean fields ride in the flags word itself
+(``connection_open``, ``pull_data``) rather than as separate octets.
+
+Decoding is fuzz-safe by construction: every failure mode — truncation,
+bad magic, version skew, CRC mismatch, unknown enum index, oversized
+length prefix, trailing garbage — raises :class:`WireDecodeError` and
+nothing else.  The UDP NIC catches that single type at the datagram
+boundary, counts it, and drops the datagram; a corrupt packet can never
+crash a kernel (the Megalink's CRC-discard behaviour, §6.12).
+
+Deliberately not serializable: ``image`` (a
+:class:`~repro.core.boot.ProgramImage` carries a live program *factory*;
+shipping code objects between processes is out of scope — the bytes in
+``data`` already stand in for the image's size on the wire), and
+``packet_id`` (a process-local identity; the decoder mints a fresh one).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.net.frame import Frame
+from repro.transport.packet import NackCode, Packet, PacketType
+
+__all__ = [
+    "MAX_DATAGRAM_BYTES",
+    "WIRE_VERSION",
+    "WireDecodeError",
+    "WireEncodeError",
+    "decode_frame",
+    "encode_frame",
+]
+
+WIRE_MAGIC = b"SW"
+WIRE_VERSION = 1
+
+#: Sanity bound on one datagram; far above ``max_message_bytes`` (4096)
+#: plus headers, far below the 64 KiB UDP limit.
+MAX_DATAGRAM_BYTES = 32_768
+
+_PREFIX = struct.Struct("!2sBI")  # magic, version, crc32
+_FIXED = struct.Struct("!BiiQI")  # ptype, src, dst, frame_id, flags
+_LEN = struct.Struct("!I")
+
+_PTYPES = tuple(PacketType)
+_NACKS = tuple(NackCode)
+
+#: Boolean fields carried as flag bits (bit, attribute, default).
+_BOOL_FLAGS = (
+    (1 << 0, "connection_open", True),
+    (1 << 1, "pull_data", False),
+)
+_FLAG_DATA = 1 << 2
+
+#: Optional scalar fields: (bit, attribute, struct, to_wire, from_wire).
+#: ``None``-valued attributes (or default-valued counters) stay off the
+#: wire; order here is the wire order.
+_ident: Callable[[Any], Any] = lambda value: value  # noqa: E731
+_FIELDS: Tuple[Tuple[int, str, struct.Struct, Callable, Callable], ...] = (
+    (1 << 3, "seq", struct.Struct("!B"), _ident, _ident),
+    (1 << 4, "ack", struct.Struct("!B"), _ident, _ident),
+    (1 << 5, "pattern", struct.Struct("!Q"), _ident, _ident),
+    (1 << 6, "tid", struct.Struct("!I"), _ident, _ident),
+    (1 << 7, "requester_mid", struct.Struct("!i"), _ident, _ident),
+    (1 << 8, "arg", struct.Struct("!q"), _ident, _ident),
+    (1 << 9, "put_size", struct.Struct("!I"), _ident, _ident),
+    (1 << 10, "get_size", struct.Struct("!I"), _ident, _ident),
+    (1 << 11, "taken_put", struct.Struct("!I"), _ident, _ident),
+    (1 << 12, "taken_get", struct.Struct("!I"), _ident, _ident),
+    (
+        1 << 13,
+        "nack_code",
+        struct.Struct("!B"),
+        lambda code: _NACKS.index(code),
+        lambda index: _nack_from_index(index),
+    ),
+    (1 << 14, "nacked_seq", struct.Struct("!B"), _ident, _ident),
+    (1 << 15, "retry_hint_us", struct.Struct("!d"), _ident, _ident),
+    (1 << 16, "tx_us", struct.Struct("!d"), _ident, _ident),
+    (1 << 17, "echo_tx_us", struct.Struct("!d"), _ident, _ident),
+    (1 << 18, "reply_mid", struct.Struct("!i"), _ident, _ident),
+    (1 << 19, "query_token", struct.Struct("!q"), _ident, _ident),
+    (1 << 20, "epoch", struct.Struct("!I"), _ident, _ident),
+)
+
+#: Integer fields above whose *dataclass* default is 0, not None: absent
+#: on the wire means 0, and 0 is never encoded.
+_ZERO_DEFAULTS = frozenset(
+    {"arg", "put_size", "get_size", "taken_put", "taken_get"}
+)
+
+_KNOWN_FLAGS = (
+    _FLAG_DATA
+    | sum(bit for bit, _, _ in _BOOL_FLAGS)
+    | sum(bit for bit, _, _, _, _ in _FIELDS)
+)
+
+
+class WireEncodeError(ValueError):
+    """The frame cannot be represented on the wire (e.g. boot images)."""
+
+
+class WireDecodeError(ValueError):
+    """The datagram is not a valid frame; never escapes the NIC."""
+
+
+def _nack_from_index(index: int) -> NackCode:
+    try:
+        return _NACKS[index]
+    except IndexError:
+        raise WireDecodeError(f"unknown nack code index {index}") from None
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """One frame -> one datagram."""
+    packet = frame.payload
+    if not isinstance(packet, Packet):
+        raise WireEncodeError(
+            f"frame payload is not a Packet: {type(packet).__name__}"
+        )
+    if packet.image is not None:
+        raise WireEncodeError(
+            "boot images do not cross the real wire (see module docstring)"
+        )
+    flags = 0
+    parts: List[bytes] = []
+    for bit, name, default in _BOOL_FLAGS:
+        if bool(getattr(packet, name)) != default:
+            flags |= bit
+    for bit, name, fmt, to_wire, _ in _FIELDS:
+        value = getattr(packet, name)
+        if value is None or (name in _ZERO_DEFAULTS and value == 0):
+            continue
+        flags |= bit
+        try:
+            parts.append(fmt.pack(to_wire(value)))
+        except (struct.error, ValueError) as exc:
+            raise WireEncodeError(f"field {name}={value!r}: {exc}") from exc
+    if packet.data is not None:
+        flags |= _FLAG_DATA
+        parts.append(_LEN.pack(len(packet.data)))
+        parts.append(packet.data)
+    try:
+        body = _FIXED.pack(
+            _PTYPES.index(packet.ptype),
+            frame.src,
+            frame.dst,
+            frame.frame_id,
+            flags,
+        ) + b"".join(parts)
+    except struct.error as exc:
+        raise WireEncodeError(f"frame header: {exc}") from exc
+    datagram = _PREFIX.pack(WIRE_MAGIC, WIRE_VERSION, zlib.crc32(body)) + body
+    if len(datagram) > MAX_DATAGRAM_BYTES:
+        raise WireEncodeError(
+            f"datagram too large: {len(datagram)} > {MAX_DATAGRAM_BYTES}"
+        )
+    return datagram
+
+
+def decode_frame(datagram: bytes) -> Frame:
+    """One datagram -> one frame, or :class:`WireDecodeError`."""
+    if len(datagram) < _PREFIX.size + _FIXED.size:
+        raise WireDecodeError(f"short datagram ({len(datagram)} octets)")
+    if len(datagram) > MAX_DATAGRAM_BYTES:
+        raise WireDecodeError(f"oversized datagram ({len(datagram)} octets)")
+    magic, version, crc = _PREFIX.unpack_from(datagram)
+    if magic != WIRE_MAGIC:
+        raise WireDecodeError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireDecodeError(f"unsupported wire version {version}")
+    body = datagram[_PREFIX.size :]
+    if zlib.crc32(body) != crc:
+        raise WireDecodeError("CRC mismatch")
+    ptype_index, src, dst, frame_id, flags = _FIXED.unpack_from(body)
+    if ptype_index >= len(_PTYPES):
+        raise WireDecodeError(f"unknown packet type index {ptype_index}")
+    if flags & ~_KNOWN_FLAGS:
+        raise WireDecodeError(f"unknown flag bits 0x{flags:08x}")
+    offset = _FIXED.size
+    fields: dict = {"ptype": _PTYPES[ptype_index]}
+    for bit, name, default in _BOOL_FLAGS:
+        fields[name] = (not default) if flags & bit else default
+    for bit, name, fmt, _, from_wire in _FIELDS:
+        if not flags & bit:
+            continue
+        try:
+            (raw,) = fmt.unpack_from(body, offset)
+        except struct.error:
+            raise WireDecodeError(f"truncated at field {name}") from None
+        offset += fmt.size
+        fields[name] = from_wire(raw)
+    data: Optional[bytes] = None
+    if flags & _FLAG_DATA:
+        try:
+            (length,) = _LEN.unpack_from(body, offset)
+        except struct.error:
+            raise WireDecodeError("truncated at data length") from None
+        offset += _LEN.size
+        if length > len(body) - offset:
+            raise WireDecodeError(
+                f"data length {length} exceeds datagram"
+            )
+        data = bytes(body[offset : offset + length])
+        offset += length
+    if offset != len(body):
+        raise WireDecodeError(
+            f"{len(body) - offset} trailing octet(s) after payload"
+        )
+    packet = Packet(data=data, **fields)
+    return Frame(
+        src,
+        dst,
+        packet,
+        payload_bytes=packet.data_bytes,
+        frame_id=frame_id,
+    )

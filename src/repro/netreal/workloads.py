@@ -1,0 +1,107 @@
+"""Workloads for the real backend (``python -m repro real <name>``).
+
+Specs reuse the :class:`~repro.analysis.workloads.WorkloadSpec` /
+:class:`~repro.analysis.workloads.WorkloadRole` vocabulary — MID = role
+index, boot offsets in microseconds — but horizons here are *wall
+clock*: ``until_us=2_000_000`` really is two seconds of your life.  The
+client programs are ordinary :class:`~repro.core.client.ClientProgram`
+subclasses and run unchanged on either backend; the real-vs-sim bench
+exploits exactly that.
+
+Factories must be resolvable by role index from a fresh interpreter
+(each node is its own OS process), which is why everything here is a
+module-level class or function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.workloads import WorkloadRole, WorkloadSpec
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.patterns import make_well_known_pattern
+
+#: The pattern ping-pong servers advertise.
+PING_PATTERN = make_well_known_pattern(0o350)
+
+
+class PingServer(ClientProgram):
+    """Echoes every exchange with ``b"pong"``."""
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(PING_PATTERN)
+
+    def handler(self, api, event):
+        if event.is_arrival:
+            buf = Buffer(event.put_size)
+            yield from api.accept_current_exchange(get=buf, put=b"pong")
+
+
+class PingClient(ClientProgram):
+    """DISCOVERs the server, then runs ``rounds`` blocking exchanges.
+
+    ``completions`` records each exchange's terminal status so runner
+    and tests can assert every round actually finished.
+    """
+
+    def __init__(self, rounds: int = 3) -> None:
+        self.rounds = rounds
+        self.completions: List[str] = []
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completions) >= self.rounds
+
+    def task(self, api):
+        server = yield from api.discover(PING_PATTERN)
+        for i in range(self.rounds):
+            reply = Buffer(16)
+            completion = yield from api.b_exchange(
+                server, put=b"ping%d" % i, get=reply
+            )
+            self.completions.append(completion.status.value)
+        yield from api.serve_forever()
+
+
+def _pinger(rounds: int):
+    return lambda: PingClient(rounds=rounds)
+
+
+#: Real-backend workloads.  ``pingpong`` is the acceptance workload:
+#: one server + two clients = three OS processes under the runner.
+REAL_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            "pingpong",
+            seed=31,
+            until_us=2_000_000.0,
+            roles=(
+                WorkloadRole("server", PingServer),
+                WorkloadRole("ping1", _pinger(3), boot_at_us=50_000.0),
+                WorkloadRole("ping2", _pinger(3), boot_at_us=80_000.0),
+            ),
+        ),
+        WorkloadSpec(
+            "burst",
+            seed=32,
+            until_us=6_000_000.0,
+            roles=(
+                WorkloadRole("server", PingServer),
+                WorkloadRole("burst1", _pinger(25), boot_at_us=50_000.0),
+                WorkloadRole("burst2", _pinger(25), boot_at_us=80_000.0),
+            ),
+        ),
+    )
+}
+
+
+def get_real_spec(name: str) -> WorkloadSpec:
+    try:
+        return REAL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown real workload {name!r}; choose from "
+            f"{', '.join(sorted(REAL_WORKLOADS))}"
+        ) from None

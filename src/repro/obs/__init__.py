@@ -26,6 +26,7 @@ maintains.
 
 from repro.obs.export import (
     BENCH_SCHEMA,
+    emit_snapshot,
     render_metrics,
     render_span_table,
     write_metrics_jsonl,
@@ -50,6 +51,7 @@ __all__ = [
     "ObsReport",
     "TransactionSpan",
     "build_spans",
+    "emit_snapshot",
     "render_metrics",
     "render_span_table",
     "span_statistics",

@@ -46,6 +46,26 @@ def write_snapshot(path: PathLike, payload: Dict[str, Any]) -> Path:
     return target
 
 
+def emit_snapshot(
+    path: PathLike,
+    kind: str,
+    body: Dict[str, Any],
+    meta: Optional[Dict[str, Any]] = None,
+    out=print,
+) -> Path:
+    """Envelope + write + announce, in one call.
+
+    The single construction site for every ``BENCH_*.json`` emitter
+    (CLI subcommands, the benchmark suite's terminal hook, the real
+    runner): wraps ``body`` via :func:`snapshot_payload`, writes it with
+    :func:`write_snapshot`, and reports ``wrote <path>`` through
+    ``out``.
+    """
+    target = write_snapshot(path, snapshot_payload(kind, body, meta))
+    out(f"wrote {target}")
+    return target
+
+
 def write_metrics_jsonl(
     path: PathLike, snapshot: Dict[str, Dict[str, Any]]
 ) -> Path:

@@ -20,7 +20,7 @@ the only per-packet work is the counters the layers already kept.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanBuilder, TransactionSpan, span_statistics
@@ -94,6 +94,7 @@ class MetricsHub:
         self.registry = registry or MetricsRegistry()
         self.spans = SpanBuilder()
         self._net: Optional["Network"] = None
+        self._ledger: Dict[str, float] = {}
         self._handler_start: Dict[int, float] = {}
         for name in self.RECOVERY_COUNTERS + self.TRANSPORT_COUNTERS:
             self.registry.counter(name)
@@ -118,6 +119,25 @@ class MetricsHub:
         if self._net is None:
             self._net = net
         for record in net.sim.trace.records:
+            self.on_record(record)
+        return self.report()
+
+    def ingest_records(
+        self,
+        records: Iterable[TraceRecord],
+        ledger: Optional[Dict[str, float]] = None,
+    ) -> ObsReport:
+        """Post-hoc from bare records — no live network required.
+
+        The real runner's merged multi-process traces come through
+        here: the record-driven metrics and spans are built exactly as
+        in :meth:`ingest`, while the pull-collected layer gauges (which
+        need live node objects) are skipped.  ``ledger`` optionally
+        supplies the pooled cost-ledger snapshot for the report.
+        """
+        if ledger is not None:
+            self._ledger = dict(ledger)
+        for record in records:
             self.on_record(record)
         return self.report()
 
@@ -241,10 +261,14 @@ class MetricsHub:
     # -- pull collection ---------------------------------------------------
 
     def collect(self) -> None:
-        """Sample the always-on layer counters into gauges."""
+        """Sample the always-on layer counters into gauges.
+
+        A no-op without an attached network (records-only ingest):
+        there are no live layer objects to pull from.
+        """
         net = self._net
         if net is None:
-            raise RuntimeError("hub is not attached to a network")
+            return
         reg = self.registry
         now = net.sim.now
         bus = net.bus
@@ -305,7 +329,9 @@ class MetricsHub:
         completed = sum(1 for span in spans if span.completed)
         self.registry.gauge("txn.spans").set(len(spans))
         self.registry.gauge("txn.completed").set(completed)
-        ledger = self._net.ledger.snapshot() if self._net else {}
+        ledger = (
+            self._net.ledger.snapshot() if self._net else dict(self._ledger)
+        )
         return ObsReport(
             snapshot=self.registry.snapshot(), spans=spans, ledger=ledger
         )

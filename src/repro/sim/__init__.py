@@ -10,6 +10,7 @@ streams so a run is reproducible from ``(seed,)`` alone.
 from repro.sim.clock import MICROSECOND, MILLISECOND, SECOND, format_us
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
+from repro.sim.interface import SchedulerBackend, TimerHandle
 from repro.sim.process import Process, ProcessKilled, SimFuture
 from repro.sim.rng import RngStreams
 from repro.sim.tracing import CostLedger, TraceRecord, Tracer
@@ -24,8 +25,10 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "RngStreams",
+    "SchedulerBackend",
     "SimFuture",
     "Simulator",
+    "TimerHandle",
     "TraceRecord",
     "Tracer",
     "format_us",

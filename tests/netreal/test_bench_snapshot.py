@@ -1,0 +1,78 @@
+"""Schema gate for the committed ``BENCH_real.json`` snapshot.
+
+Real-backend numbers are wall-clock and vary run to run, so — unlike
+the sim-only snapshots — the committed file is *not* byte-diffable and
+no value is pinned here.  What this test holds fixed is the contract:
+the soda.bench/1 envelope, the backend x policy cell grid, each cell's
+metric keys and types, and the one qualitative claim the snapshot
+exists to document — on the real backend, the adaptive policy's mean
+recovery wait per lost frame beat the static 60ms timeout when the
+snapshot was produced.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+SNAPSHOT = Path(__file__).resolve().parents[2] / "BENCH_real.json"
+
+CELL_NUMBERS = (
+    "completed_exchanges",
+    "spans_total",
+    "latency_p50_us",
+    "latency_p99_us",
+    "rtt_samples",
+    "rtt_p50_us",
+    "rtt_p99_us",
+    "rtt_mean_us",
+    "retransmits",
+    "recovery_wait_mean_us",
+    "recovery_wait_p99_us",
+    "spurious_retransmits",
+    "elapsed_s",
+    "goodput_exchanges_per_s",
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    assert SNAPSHOT.exists(), "BENCH_real.json must be committed"
+    return json.loads(SNAPSHOT.read_text())
+
+
+def test_envelope(payload):
+    assert payload["schema"] == "soda.bench/1"
+    assert payload["kind"] == "real_bench"
+    assert payload["meta"] == {"seed": payload["body"]["seed"]}
+
+
+def test_cell_grid_and_metric_keys(payload):
+    body = payload["body"]
+    assert body["loss"] == pytest.approx(0.10)
+    assert body["real_drop_every"] >= 2
+    assert set(body["backends"]) == {"sim", "real"}
+    for backend, cells in body["backends"].items():
+        assert set(cells) == {"static", "adaptive"}, backend
+        for policy, cell in cells.items():
+            for key in CELL_NUMBERS:
+                value = cell[key]
+                label = f"{backend}/{policy}/{key}"
+                assert isinstance(value, (int, float)), label
+                assert math.isfinite(value), label
+            # Sanity, not pinning: the sweep ran to completion.
+            assert cell["completed_exchanges"] > 0
+            assert cell["retransmits"] > 0  # loss was actually injected
+    assert body["backends"]["real"]["static"]["all_finished"] is True
+    assert body["backends"]["real"]["adaptive"]["all_finished"] is True
+
+
+def test_committed_verdict_shows_adaptive_win(payload):
+    comparison = payload["body"]["comparison"]
+    assert comparison["adaptive_recovers_faster_real"] is True
+    waits = comparison["recovery_wait_mean_us"]
+    assert waits["adaptive"] < waits["static"]
+    knobs = comparison["policy_knobs"]
+    assert set(knobs) == {"static", "adaptive"}
+    assert knobs["static"]["kind"] != knobs["adaptive"]["kind"]

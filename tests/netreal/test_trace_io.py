@@ -1,0 +1,136 @@
+"""Trace JSONL round-trips and the wall-clock merge (ISSUE 7 satellite).
+
+The regression being pinned: simulated traces carry integer-valued
+microsecond timestamps, wall-clock traces arbitrary floats, and both
+must survive dump/load/merge with their exact types — an ``int()``
+anywhere in the path would silently collapse sub-microsecond wall-clock
+orderings.  The invariant checker and span builder must accept either.
+"""
+
+from repro.analysis.invariants import InvariantChecker
+from repro.netreal.trace_io import (
+    dump_trace,
+    load_trace,
+    merge_records,
+    merge_traces,
+    tracer_from_records,
+)
+from repro.obs.spans import build_spans
+from repro.sim.tracing import TraceRecord
+
+
+def test_round_trip_preserves_timestamp_types(tmp_path):
+    records = [
+        TraceRecord(100, "kernel.tx", {"mid": 0}),  # sim: int µs
+        TraceRecord(100.25, "kernel.rx", {"mid": 1}),  # real: float µs
+        TraceRecord(100.75, "net.tx", {"src": 0, "dst": 1}),
+    ]
+    path = dump_trace(tmp_path / "t.jsonl", records, meta={"mid": 0})
+    meta, loaded = load_trace(path)
+    assert meta["mid"] == 0
+    assert [r.time for r in loaded] == [100, 100.25, 100.75]
+    assert type(loaded[0].time) is int
+    assert type(loaded[1].time) is float
+    assert [r.category for r in loaded] == [
+        "kernel.tx",
+        "kernel.rx",
+        "net.tx",
+    ]
+    assert loaded[2].fields == {"src": 0, "dst": 1}
+
+
+def test_merge_orders_across_streams_without_rounding():
+    stream_a = [
+        TraceRecord(10.5, "a1", {}),
+        TraceRecord(12.25, "a2", {}),
+    ]
+    stream_b = [
+        TraceRecord(10.75, "b1", {}),
+        TraceRecord(12.25, "b2", {}),
+    ]
+    merged = merge_records([stream_a, stream_b])
+    assert [r.category for r in merged] == ["a1", "b1", "a2", "b2"]
+    # Sub-microsecond separations survive: int() here would make 10.5
+    # and 10.75 tie and the order arbitrary.
+    assert [r.time for r in merged] == [10.5, 10.75, 12.25, 12.25]
+
+
+def test_merge_is_stable_within_a_stream():
+    stream = [TraceRecord(5.0, f"e{i}", {}) for i in range(4)]
+    merged = merge_records([stream])
+    assert [r.category for r in merged] == ["e0", "e1", "e2", "e3"]
+
+
+def test_merge_traces_pools_ledgers(tmp_path):
+    a = dump_trace(
+        tmp_path / "a.jsonl",
+        [TraceRecord(1.5, "x", {})],
+        meta={"mid": 0, "ledger": {"transmission": 10.0, "kernel": 2.0}},
+    )
+    b = dump_trace(
+        tmp_path / "b.jsonl",
+        [TraceRecord(1.25, "y", {})],
+        meta={"mid": 1, "ledger": {"transmission": 5.0}},
+    )
+    metas, merged, ledger = merge_traces([a, b])
+    assert [m["mid"] for m in metas] == [0, 1]
+    assert [r.category for r in merged] == ["y", "x"]
+    assert ledger.snapshot() == {"transmission": 15.0, "kernel": 2.0}
+
+
+def test_checker_and_spans_accept_mixed_timestamp_types():
+    """One requester's span with float (wall-clock) timestamps flows
+    through the span builder and the strict invariant checker."""
+    mid, tid = 7, 3
+    records = [
+        TraceRecord(
+            1000.5,
+            "kernel.request",
+            {
+                "mid": mid,
+                "tid": tid,
+                "dst": 2,
+                "pattern": 1,
+                "put": 4,
+                "get": 4,
+            },
+        ),
+        TraceRecord(
+            1500, "kernel.rx", {"mid": 2, "ptype": "request", "tid": tid}
+        ),
+        TraceRecord(
+            2000.25,
+            "kernel.complete",
+            {
+                "mid": mid,
+                "tid": tid,
+                "status": "completed",
+                "arg": 0,
+                "taken_put": 4,
+                "taken_get": 4,
+                "reason": None,
+                "not_executed": False,
+            },
+        ),
+    ]
+    spans = build_spans(records)
+    assert len(spans) == 1
+    assert spans[0].completed
+    assert spans[0].latency_us == 2000.25 - 1000.5
+
+    violations = InvariantChecker(strict_completion=True).check(
+        tracer_from_records(records)
+    )
+    assert violations == []
+
+
+def test_tracer_from_records_rebuilds_counters():
+    records = [
+        TraceRecord(1.0, "kernel.tx", {}),
+        TraceRecord(2.0, "kernel.tx", {}),
+        TraceRecord(3.0, "kernel.rx", {}),
+    ]
+    tracer = tracer_from_records(records)
+    assert tracer.counters["kernel.tx"] == 2
+    assert tracer.counters["kernel.rx"] == 1
+    assert list(tracer.records) == records

@@ -4,6 +4,7 @@ import json
 
 from repro.obs.export import (
     BENCH_SCHEMA,
+    emit_snapshot,
     render_metrics,
     render_span_table,
     snapshot_payload,
@@ -41,6 +42,23 @@ def test_write_snapshot_round_trips(tmp_path):
     assert parsed == payload
     # Keys come out sorted, so serialization is deterministic.
     assert text == json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def test_emit_snapshot_envelopes_and_announces(tmp_path):
+    """The one-call helper every BENCH_*.json emitter shares."""
+    announced = []
+    target = emit_snapshot(
+        tmp_path / "BENCH_emit.json",
+        "metrics",
+        {"a": 1},
+        meta={"workload": "echo"},
+        out=announced.append,
+    )
+    assert announced == [f"wrote {target}"]
+    parsed = json.loads(target.read_text())
+    assert parsed == snapshot_payload(
+        "metrics", {"a": 1}, meta={"workload": "echo"}
+    )
 
 
 def test_write_metrics_jsonl(tmp_path):

@@ -75,6 +75,29 @@ def test_live_and_posthoc_collection_agree():
     assert net_live.sim.trace.count("kernel.request") > 0
 
 
+def test_records_only_ingest_matches_network_ingest():
+    """ingest_records (no live network) produces the same record-driven
+    metrics and spans as a full ingest; only pull-collected layer gauges
+    are absent, and the supplied ledger flows to the report."""
+    net = run_workload("echo")
+    full = MetricsHub().ingest(net)
+    bare = MetricsHub().ingest_records(
+        net.sim.trace.records, ledger=net.ledger.snapshot()
+    )
+    assert bare.ledger == full.ledger
+    assert [s.to_dict() for s in bare.spans] == [
+        s.to_dict() for s in full.spans
+    ]
+    for name, data in bare.snapshot.items():
+        if data["type"] in ("counter", "histogram") or name.startswith(
+            "txn."
+        ):
+            assert full.snapshot[name] == data, name
+    # Pull-only gauges need live layer objects and are rightly absent.
+    assert "bus.utilization" in full.snapshot
+    assert "bus.utilization" not in bare.snapshot
+
+
 def test_same_seed_runs_export_identically():
     first = _report("signal").to_dict()
     second = _report("signal").to_dict()
