@@ -17,10 +17,17 @@
     python -m repro causal-bench      # batch vs streaming checker cost
     python -m repro chaos [--matrix] [--seed N] [--workload W[,W...]]
                           [--schedule S[,S...]] [--no-shrink] [--causal]
-                                      # fault-schedule sweep (repro.chaos)
-    python -m repro transport-bench [--seed N]
+                          [--parallel N]
+                                      # fault-schedule sweep (repro.chaos);
+                                      # --parallel farms cells out to N
+                                      # worker processes (byte-identical
+                                      # output, docs/SIM.md)
+    python -m repro transport-bench [--seed N] [--parallel N]
                                       # adaptive-vs-static comparison
                                       # under sustained_loss (ISSUE 5)
+    python -m repro sim-bench [--repeats R] [--scale F]
+                                      # raw engine events/sec benchmark
+                                      # (BENCH_sim.json; docs/SIM.md)
     python -m repro recover --demo    # crash → detect → reboot → retry
                                       # walkthrough (repro.recovery)
     python -m repro real <workload> [--seed N] [--policy P] [--loss F]
@@ -252,6 +259,8 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
         argv.remove("--causal")
     seed_text = _take_flag_value(argv, "--seed")
     seed = int(seed_text) if seed_text else 1
+    parallel_text = _take_flag_value(argv, "--parallel")
+    parallel = int(parallel_text) if parallel_text else None
     workload = _take_flag_value(argv, "--workload")
     schedule = _take_flag_value(argv, "--schedule")
 
@@ -277,6 +286,7 @@ def _chaos(argv: List[str], json_path: Optional[str] = None) -> int:
         seeds=(seed,),
         progress=progress,
         causal=causal,
+        parallel=parallel,
     )
     failed = [r for r in results if not r.ok]
     print(
@@ -343,7 +353,11 @@ def _transport_bench(
 
     seed_text = _take_flag_value(argv, "--seed")
     seeds = (int(seed_text),) if seed_text else (1,)
-    body = run_transport_bench(seeds=seeds)
+    parallel_text = _take_flag_value(argv, "--parallel")
+    body = run_transport_bench(
+        seeds=seeds,
+        parallel=int(parallel_text) if parallel_text else None,
+    )
 
     rows = []
     for name in ("static", "adaptive"):
@@ -397,6 +411,58 @@ def _transport_bench(
             meta={"seeds": list(seeds)},
         )
     return 0 if wins else 1
+
+
+def _sim_bench(argv: List[str], json_path: Optional[str] = None) -> int:
+    """``sim-bench``: wall-clock events/sec through the DES hot path."""
+    from repro.bench.sim_bench import run_sim_bench
+    from repro.bench.tables import format_table
+
+    repeats_text = _take_flag_value(argv, "--repeats")
+    scale_text = _take_flag_value(argv, "--scale")
+    body = run_sim_bench(
+        repeats=int(repeats_text) if repeats_text else 3,
+        scale=float(scale_text) if scale_text else 1.0,
+    )
+
+    scenarios = body["scenarios"]
+    rows = []
+    for name in ("timer_churn", "message_storm", "chaos_replay"):
+        cell = scenarios[name]
+        rows.append((name, cell["events"], cell["events_per_sec"]))
+    trace = scenarios["trace_overhead"]
+    rows.append(
+        (
+            f"{trace['workload']} (traced)",
+            trace["traced"]["events"],
+            trace["traced"]["events_per_sec"],
+        )
+    )
+    rows.append(
+        (
+            f"{trace['workload']} (no-trace)",
+            trace["no_trace"]["events"],
+            trace["no_trace"]["events_per_sec"],
+        )
+    )
+    print(
+        format_table(
+            ["scenario", "events", "events/sec"],
+            rows,
+            title="Engine hot path (wall clock; values vary per host)",
+        )
+    )
+    fast_wins = body["comparison"]["no_trace_faster_than_traced"]
+    print(f"no-trace fast mode speedup: {trace['fast_mode_speedup']}x")
+    print(f"no-trace faster than traced: {fast_wins}")
+    if json_path:
+        _write_payload(
+            json_path,
+            "sim_bench",
+            body,
+            meta={"repeats": body["repeats"]},
+        )
+    return 0 if fast_wins else 1
 
 
 def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
@@ -616,6 +682,8 @@ def main(argv=None) -> int:
         return _chaos(argv[1:], json_path=json_path)
     elif command == "transport-bench":
         return _transport_bench(argv[1:], json_path=json_path)
+    elif command == "sim-bench":
+        return _sim_bench(argv[1:], json_path=json_path)
     elif command == "recover":
         return _recover(argv[1:], json_path=json_path)
     elif command == "real":

@@ -356,11 +356,15 @@ def build_workload(
     faults: Optional[FaultPlan] = None,
     config: Optional[KernelConfig] = None,
     max_trace_records: Optional[int] = None,
+    keep_trace: bool = True,
 ) -> BuiltWorkload:
     """Construct a workload network without running it.
 
     ``seed``/``faults``/``config`` override the spec defaults so the
-    chaos harness can sweep seeds and overlay fault plans.
+    chaos harness can sweep seeds and overlay fault plans;
+    ``keep_trace=False`` runs the tracer in counters-only fast mode
+    (no record retention — the engine benchmark uses it to price
+    tracing itself).
     """
     spec = get_spec(name)
     net = Network(
@@ -368,6 +372,7 @@ def build_workload(
         faults=faults,
         config=config,
         max_trace_records=max_trace_records,
+        keep_trace=keep_trace,
     )
     for role in spec.roles:
         net.add_node(

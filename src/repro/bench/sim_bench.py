@@ -1,0 +1,224 @@
+"""Raw engine speed: the ``python -m repro sim-bench`` microbenchmark.
+
+Every other benchmark in the repo measures *simulated* time; this one
+measures the simulator itself — wall-clock events per second through
+``Simulator.run`` — so hot-path regressions show up PR over PR in the
+committed ``BENCH_sim.json`` even when virtual-time results stay
+byte-identical.
+
+Four scenarios cover the engine's distinct cost centres:
+
+* ``timer_churn`` — arm-and-cancel storms (the retransmission-timer
+  pattern: almost every timer armed is cancelled before it fires),
+  exercising the event queue's O(1) live counter and heap compaction;
+* ``message_storm`` — long causal chains plus same-instant fanout
+  bursts, exercising raw heap push/pop and ordering;
+* ``chaos_replay`` — one full chaos cell (echo × sustained_loss), the
+  end-to-end mix of kernel work, tracing, and timer churn a sweep cell
+  really runs;
+* ``trace_overhead`` — one workload run traced and again in the
+  tracer's counters-only fast mode (``keep_trace=False``), pricing
+  per-event `TraceRecord` retention.
+
+Event *counts* per scenario are deterministic; only the wall-clock
+rates vary run to run, so CI validates the snapshot's schema without
+pinning values (unlike the virtual-time ``BENCH_*`` files, which are
+drift-checked byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["run_sim_bench"]
+
+#: Workload priced by the ``trace_overhead`` scenario (streamed
+#: non-blocking requests: trace-heavy but short enough to repeat).
+TRACE_WORKLOAD = "stream"
+
+
+def _measure(
+    build_and_run: Callable[[], int], repeats: int
+) -> Tuple[int, float]:
+    """Best-of-``repeats`` wall clock for one scenario.
+
+    ``build_and_run`` constructs a fresh simulator and returns the
+    number of events it processed; the event count must not vary
+    between repeats (asserted — a scenario whose work drifts between
+    repeats is mis-measuring).
+    """
+    best = float("inf")
+    events = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        processed = build_and_run()
+        elapsed = time.perf_counter() - start
+        if events is None:
+            events = processed
+        elif events != processed:
+            raise RuntimeError(
+                f"non-deterministic scenario: {events} != {processed}"
+            )
+        best = min(best, elapsed)
+    assert events is not None
+    return events, best
+
+
+def _timer_churn(n_events: int) -> int:
+    """Arm K timers per driver tick, cancel all but one, repeat.
+
+    Mirrors the transport's retransmission pattern: the ACK almost
+    always wins the race, so the armed timer dies cancelled.  With a
+    lazy-only heap the dead entries pile up; this scenario regresses
+    badly without compaction.
+    """
+    sim = Simulator(seed=1, keep_trace=False)
+    fanout = 16
+
+    def tick(remaining: int) -> None:
+        if remaining <= 0:
+            return
+        armed = [
+            sim.schedule(10_000.0 + i, _noop) for i in range(fanout)
+        ]
+        for event in armed[1:]:
+            event.cancel()
+        armed[0].cancel()
+        sim.schedule(1.0, tick, remaining - 1)
+
+    sim.schedule(0.0, tick, n_events)
+    sim.run()
+    return sim.events_processed
+
+
+def _noop() -> None:
+    return None
+
+
+def _message_storm(n_events: int) -> int:
+    """Causal chains with periodic same-instant fanout bursts."""
+    sim = Simulator(seed=1, keep_trace=False)
+    chains = 64
+    state = {"left": n_events}
+
+    def hop(chain: int) -> None:
+        if state["left"] <= 0:
+            return
+        state["left"] -= 1
+        if state["left"] % 97 == 0:
+            # A burst at one instant: heap ordering under seq ties.
+            for _ in range(8):
+                if state["left"] > 0:
+                    state["left"] -= 1
+                    sim.schedule(5.0, _noop)
+        sim.schedule(1.0 + (chain % 7), hop, chain)
+
+    for chain in range(chains):
+        sim.schedule(float(chain), hop, chain)
+    sim.run()
+    return sim.events_processed
+
+
+def _chaos_replay(iterations: int) -> int:
+    """Real sweep cells, end to end (echo × sustained_loss × seed 1).
+
+    One cell is only a few milliseconds of wall clock, so the scenario
+    replays it ``iterations`` times per measurement to rise above timer
+    noise; every replay is an independent, identically-seeded network.
+    """
+    from repro.analysis.workloads import build_workload
+    from repro.chaos.runner import chaos_config, make_schedule
+    from repro.chaos.scenario import GRACE_US
+
+    events = 0
+    for _ in range(iterations):
+        built = build_workload("echo", seed=1, config=chaos_config())
+        scenario = make_schedule("sustained_loss", built.spec)
+        scenario.apply(built)
+        horizon = max(
+            built.spec.until_us, scenario.last_action_us + 2 * GRACE_US
+        )
+        built.net.run(until=horizon)
+        events += built.net.sim.events_processed
+    return events
+
+
+def _traced_workload(keep_trace: bool, iterations: int) -> int:
+    from repro.analysis.workloads import build_workload
+
+    events = 0
+    for _ in range(iterations):
+        built = build_workload(TRACE_WORKLOAD, keep_trace=keep_trace)
+        built.net.run(until=built.spec.until_us)
+        events += built.net.sim.events_processed
+    return events
+
+
+def _scenario_body(events: int, elapsed_s: float) -> Dict[str, object]:
+    return {
+        "events": events,
+        "elapsed_s": round(elapsed_s, 6),
+        "events_per_sec": round(events / elapsed_s) if elapsed_s else 0,
+    }
+
+
+def run_sim_bench(
+    repeats: int = 3, scale: float = 1.0
+) -> Dict[str, object]:
+    """The ``BENCH_sim.json`` body.
+
+    ``scale`` shrinks the per-scenario event budgets (tests run at
+    ``scale=0.01`` so the whole bench finishes in well under a second).
+    """
+    scenarios: Dict[str, object] = {}
+    budgets = {
+        "timer_churn": max(50, int(20_000 * scale)),
+        "message_storm": max(500, int(200_000 * scale)),
+        "chaos_replay": max(1, int(25 * scale)),
+        # The traced-vs-fast verdict needs enough wall clock to rise
+        # above scheduler noise even at test scales; never below 10
+        # workload iterations (~50 ms per side).
+        "trace_overhead": max(10, int(25 * scale)),
+    }
+    runners: Dict[str, Callable[[], int]] = {
+        "timer_churn": lambda: _timer_churn(budgets["timer_churn"]),
+        "message_storm": lambda: _message_storm(
+            budgets["message_storm"]
+        ),
+        "chaos_replay": lambda: _chaos_replay(
+            budgets["chaos_replay"]
+        ),
+    }
+    for name, runner in runners.items():
+        events, elapsed = _measure(runner, repeats)
+        scenarios[name] = _scenario_body(events, elapsed)
+
+    trace_iters = budgets["trace_overhead"]
+    trace_repeats = max(3, repeats)
+    traced_events, traced_s = _measure(
+        lambda: _traced_workload(True, trace_iters), trace_repeats
+    )
+    fast_events, fast_s = _measure(
+        lambda: _traced_workload(False, trace_iters), trace_repeats
+    )
+    traced = _scenario_body(traced_events, traced_s)
+    fast = _scenario_body(fast_events, fast_s)
+    speedup = (
+        round(traced_s / fast_s, 3) if fast_s else float("inf")
+    )
+    scenarios["trace_overhead"] = {
+        "workload": TRACE_WORKLOAD,
+        "traced": traced,
+        "no_trace": fast,
+        "fast_mode_speedup": speedup,
+    }
+    return {
+        "scenarios": scenarios,
+        "comparison": {
+            "no_trace_faster_than_traced": fast_s < traced_s,
+        },
+        "repeats": repeats,
+    }

@@ -79,6 +79,19 @@ def _run_one(
     }
 
 
+def _run_one_packed(args) -> Dict[str, object]:
+    """Module-level trampoline for ProcessPoolExecutor workers.
+
+    Policies travel by name, not instance, so the worker constructs a
+    fresh default-configured policy — exactly what the serial path does.
+    """
+    policy_name, workload, seed = args
+    policy: RetransmitPolicy = (
+        StaticPolicy() if policy_name == "static" else AdaptivePolicy()
+    )
+    return _run_one(policy, workload, seed)
+
+
 def _aggregate(cells: List[Dict[str, object]]) -> Dict[str, object]:
     latencies: List[float] = []
     for cell in cells:
@@ -103,25 +116,41 @@ def _aggregate(cells: List[Dict[str, object]]) -> Dict[str, object]:
 def run_transport_bench(
     seeds: Sequence[int] = (1,),
     workloads: Optional[Sequence[str]] = None,
+    parallel: Optional[int] = None,
 ) -> Dict[str, object]:
-    """The ``BENCH_transport.json`` body: per-policy sweeps + verdict."""
+    """The ``BENCH_transport.json`` body: per-policy sweeps + verdict.
+
+    ``parallel=N`` farms the (policy × seed × workload) cells out to N
+    worker processes; every cell is seed-deterministic, so the merged
+    body is byte-identical to a serial run.
+    """
     workload_names = tuple(workloads) if workloads else BENCH_WORKLOADS
-    policies = {
-        "static": StaticPolicy(),
-        "adaptive": AdaptivePolicy(),
-    }
+    policy_names = ("static", "adaptive")
     body: Dict[str, object] = {
         "schedule": BENCH_SCHEDULE,
         "workloads": list(workload_names),
         "seeds": list(seeds),
     }
+    jobs = [
+        (name, workload, seed)
+        for name in policy_names
+        for seed in seeds
+        for workload in workload_names
+    ]
+    if parallel is not None and parallel > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(parallel, len(jobs))
+        ) as pool:
+            # map() yields in submission order: the serial enumeration.
+            all_cells = list(pool.map(_run_one_packed, jobs))
+    else:
+        all_cells = [_run_one_packed(job) for job in jobs]
+    per_policy = len(seeds) * len(workload_names)
     aggregates: Dict[str, Dict[str, object]] = {}
-    for name, policy in policies.items():
-        cells = [
-            _run_one(policy, workload, seed)
-            for seed in seeds
-            for workload in workload_names
-        ]
+    for index, name in enumerate(policy_names):
+        cells = all_cells[index * per_policy : (index + 1) * per_policy]
         aggregates[name] = _aggregate(cells)
         for cell in cells:
             # Raw latency lists are bulky and derivable; keep the

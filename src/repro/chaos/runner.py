@@ -432,18 +432,43 @@ def matrix_cells(
     ]
 
 
+def _run_cell_packed(args: Tuple[str, str, int, bool]) -> CellResult:
+    """Module-level trampoline so ProcessPoolExecutor can pickle it."""
+    workload, schedule, seed, causal = args
+    return run_cell(workload, schedule, seed, causal=causal)
+
+
 def run_matrix(
     workloads: Optional[Sequence[str]] = None,
     schedules: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (1,),
     progress: Optional[Callable[[CellResult], None]] = None,
     causal: bool = False,
+    parallel: Optional[int] = None,
 ) -> List[CellResult]:
-    """Sweep the matrix; cells run in deterministic order."""
-    results = []
-    for workload, schedule, seed in matrix_cells(
-        workloads, schedules, seeds
-    ):
+    """Sweep the matrix; results come back in deterministic cell order.
+
+    ``parallel=N`` farms cells out to N worker processes.  Cells are
+    independent, seed-deterministic simulations, so the merged result
+    list — and any JSON derived from it — is byte-identical to a serial
+    sweep; only wall-clock changes.
+    """
+    cells = matrix_cells(workloads, schedules, seeds)
+    results: List[CellResult] = []
+    if parallel is not None and parallel > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallel, len(cells))
+        packed = [(w, s, seed, causal) for w, s, seed in cells]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() yields in submission order: canonical enumeration
+            # order, regardless of which worker finishes first.
+            for result in pool.map(_run_cell_packed, packed):
+                results.append(result)
+                if progress is not None:
+                    progress(result)
+        return results
+    for workload, schedule, seed in cells:
         result = run_cell(workload, schedule, seed, causal=causal)
         results.append(result)
         if progress is not None:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+import heapq
+from typing import Any, Callable, Generator, Optional, Tuple
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import Process, SimFuture
@@ -17,6 +18,8 @@ class Simulator:
     components (bus, kernels, clients) share this instance for time,
     scheduling, randomness, and tracing.
     """
+
+    __slots__ = ("now", "queue", "rng", "trace", "_events_processed")
 
     def __init__(
         self,
@@ -69,6 +72,66 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
 
+    def _run_core(
+        self,
+        deadline: Optional[float],
+        max_events: int,
+        predicate: Optional[Callable[[], bool]],
+    ) -> Tuple[int, bool]:
+        """The one guarded event loop behind :meth:`run` and
+        :meth:`run_until`.
+
+        Processes live events up to ``deadline`` (exclusive of events
+        beyond it), enforcing the backwards-time guard and the exact
+        ``max_events`` runaway guard; with a ``predicate`` it is checked
+        before every event.  Returns ``(processed, satisfied)`` where
+        ``satisfied`` is the final predicate verdict (always False with
+        no predicate).  On exit the clock has advanced to ``deadline``
+        unless the predicate stopped the loop first.
+
+        This is the engine's hot path: the heap is accessed directly
+        (bypassing :meth:`EventQueue.pop`'s per-call overhead) with
+        pre-bound locals.  ``EventQueue`` compaction mutates the heap
+        list in place, so the ``heap`` alias stays valid even when a
+        handler cancels events mid-loop.
+        """
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while True:
+                if predicate is not None and predicate():
+                    return processed, True
+                # Drop cancelled entries until a live event fronts the heap.
+                while heap and heap[0].cancelled:
+                    heappop(heap)
+                if not heap:
+                    break
+                event = heap[0]
+                event_time = event.time
+                if deadline is not None and event_time > deadline:
+                    break
+                if processed >= max_events:
+                    raise RuntimeError(
+                        f"run() exceeded max_events={max_events}; "
+                        "likely a protocol livelock"
+                    )
+                if event_time < self.now:
+                    raise RuntimeError("event queue went backwards")
+                heappop(heap)
+                event._queue = None
+                queue._live -= 1
+                self.now = event_time
+                event.fn(*event.args)
+                processed += 1
+        finally:
+            self._events_processed += processed
+        if deadline is not None and self.now < deadline:
+            self.now = deadline
+        satisfied = predicate is not None and predicate()
+        return processed, satisfied
+
     def run(
         self,
         until: Optional[float] = None,
@@ -77,52 +140,31 @@ class Simulator:
         """Process events until the queue drains or ``until`` is reached.
 
         Returns the number of events processed by this call.  ``max_events``
-        is a runaway guard: exceeding it raises RuntimeError rather than
-        spinning forever on a livelocked protocol.
+        is a runaway guard: the call processes at most that many events and
+        raises RuntimeError rather than spinning forever on a livelocked
+        protocol.  The limit is exact — a run that needs exactly
+        ``max_events`` events completes.
         """
-        processed = 0
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            event = self.queue.pop()
-            assert event is not None
-            if event.time < self.now:  # pragma: no cover - defensive
-                raise RuntimeError("event queue went backwards")
-            self.now = event.time
-            event.fn(*event.args)
-            processed += 1
-            self._events_processed += 1
-            if processed > max_events:
-                raise RuntimeError(
-                    f"run() exceeded max_events={max_events}; "
-                    "likely a protocol livelock"
-                )
-        if until is not None and self.now < until:
-            self.now = until
+        processed, _ = self._run_core(until, max_events, None)
         return processed
 
-    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int = 10_000_000,
+    ) -> bool:
         """Advance until ``predicate()`` is true or ``timeout`` elapses.
 
         Returns True if the predicate became true.  Checks the predicate
-        after every event; intended for tests.
+        after every event; intended for tests.  Like :meth:`run`, the
+        clock lands on ``now + timeout`` when the predicate stays false
+        (even if the queue drains early), and the same backwards-time
+        and ``max_events`` guards apply — a livelocked predicate raises
+        instead of spinning forever.
         """
-        deadline = self.now + timeout
-        while not predicate():
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > deadline:
-                self.now = min(deadline, self.now if next_time is None else deadline)
-                return predicate()
-            event = self.queue.pop()
-            assert event is not None
-            self.now = event.time
-            event.fn(*event.args)
-            self._events_processed += 1
-        return True
+        _, satisfied = self._run_core(self.now + timeout, max_events, predicate)
+        return satisfied
 
     @property
     def events_processed(self) -> int:

@@ -3,6 +3,13 @@
 Events are ordered by ``(time, priority, seq)``.  The sequence number makes
 ordering total and deterministic: two events scheduled for the same instant
 fire in the order they were scheduled (or by explicit priority).
+
+Cancellation is lazy — ``Event.cancel`` marks the entry and the heap
+discards it when it reaches the front — but the queue keeps an O(1)
+*live* counter so ``len()`` never scans, and compacts the heap when
+cancelled entries outnumber live ones (timer-heavy protocols cancel
+almost every retransmission timer they arm, so a lazy-only heap can
+grow far past its live population).
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ class Event:
     discards cancelled entries when they are popped.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -35,10 +42,17 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -53,14 +67,26 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap event queue with lazy cancellation."""
+    """A binary-heap event queue with lazy cancellation.
+
+    ``len()`` is O(1): the queue tracks its live population as events are
+    pushed, popped, and cancelled.  When dead entries dominate a
+    non-trivial heap the queue rebuilds it in place (amortized O(1) per
+    cancellation) so pathological cancel churn cannot inflate push/pop
+    cost.
+    """
+
+    #: Heaps at or below this size are never compacted; the scan is not
+    #: worth saving.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(
         self,
@@ -71,24 +97,46 @@ class EventQueue:
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time``; returns the Event."""
         event = Event(time, priority, next(self._counter), fn, args)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
 
     def clear(self) -> None:
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
+
+    def _on_cancel(self) -> None:
+        """Account a cancellation; compact when dead entries dominate.
+
+        The rebuild mutates ``_heap`` in place (slice assignment) so that
+        aliases held by the engine's hot loop stay valid even when a
+        handler cancels events mid-run.
+        """
+        self._live -= 1
+        heap = self._heap
+        if len(heap) > self.COMPACT_MIN and self._live * 2 < len(heap):
+            heap[:] = [event for event in heap if not event.cancelled]
+            heapq.heapify(heap)

@@ -66,6 +66,10 @@ class Tracer:
         self.counters: Counter = Counter()
         self.dropped_records = 0
         self._sinks: List[Callable[[TraceRecord], None]] = []
+        # Precomputed fast-mode flag: with retention off and no sinks,
+        # record() never constructs a TraceRecord — it only bumps the
+        # category counter.  Kept in sync by add_sink/remove_sink.
+        self._passive = not keep_records
 
     @property
     def truncated(self) -> bool:
@@ -75,27 +79,26 @@ class Tracer:
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         """Stream every future record to ``sink`` (live metrics)."""
         self._sinks.append(sink)
+        self._passive = False
 
     def remove_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         self._sinks.remove(sink)
+        self._passive = not self.keep_records and not self._sinks
 
     def record(self, time: float, category: str, **fields: Any) -> None:
         self.counters[category] += 1
+        if self._passive:
+            return
+        entry = TraceRecord(time, category, fields)
         if self.keep_records:
-            entry = TraceRecord(time, category, fields)
             if (
                 self.max_records is not None
                 and len(self.records) >= self.max_records
             ):
                 self.dropped_records += 1
             self.records.append(entry)
-            if self._sinks:
-                for sink in self._sinks:
-                    sink(entry)
-        elif self._sinks:
-            entry = TraceRecord(time, category, fields)
-            for sink in self._sinks:
-                sink(entry)
+        for sink in self._sinks:
+            sink(entry)
 
     def count(self, category: str) -> int:
         return self.counters[category]

@@ -351,7 +351,7 @@ class SodalApi:
             self._processor.detach_handler_for_blocking()
         # The blocking wrapper's bookkeeping (§4.1.1): save the return
         # point and prepare the hidden completion handler...
-        yield self.tm.blocking_wrapper_us / 2
+        yield self.tm.blocking_wrapper_half_us
         yield self._overhead()
         tid = self.kernel.client_request(
             server, arg, _coerce_put(put), _coerce_get(get), image=image
@@ -360,7 +360,7 @@ class SodalApi:
         self._processor.awaited_completions[tid] = future
         event = yield future
         # ...and restore it when the completion unblocks us.
-        yield self.tm.blocking_wrapper_us / 2
+        yield self.tm.blocking_wrapper_half_us
         status = event.status
         if status is RequestStatus.COMPLETED and event.arg == REJECT_ARG:
             status = RequestStatus.REJECTED

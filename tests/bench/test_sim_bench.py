@@ -1,0 +1,57 @@
+"""Tests for the raw-engine benchmark (repro.bench.sim_bench).
+
+Wall-clock rates vary per host, so assertions here cover the snapshot's
+*shape* and the determinism of per-scenario event counts — the same
+contract CI's schema check enforces on the committed ``BENCH_sim.json``.
+"""
+
+import json
+
+from repro.bench.sim_bench import run_sim_bench
+
+SCENARIOS = (
+    "timer_churn",
+    "message_storm",
+    "chaos_replay",
+    "trace_overhead",
+)
+
+
+def test_body_shape_and_positive_rates():
+    body = run_sim_bench(repeats=1, scale=0.01)
+    assert set(body["scenarios"]) == set(SCENARIOS)
+    for name in ("timer_churn", "message_storm", "chaos_replay"):
+        cell = body["scenarios"][name]
+        assert cell["events"] > 0
+        assert cell["events_per_sec"] > 0
+        assert cell["elapsed_s"] >= 0.0
+    trace = body["scenarios"]["trace_overhead"]
+    assert trace["traced"]["events"] == trace["no_trace"]["events"]
+    assert trace["fast_mode_speedup"] > 0
+    assert isinstance(
+        body["comparison"]["no_trace_faster_than_traced"], bool
+    )
+    json.dumps(body)  # JSON-serializable end to end
+
+
+def test_event_counts_are_deterministic_across_runs():
+    one = run_sim_bench(repeats=1, scale=0.01)
+    two = run_sim_bench(repeats=1, scale=0.01)
+    for name in ("timer_churn", "message_storm", "chaos_replay"):
+        assert (
+            one["scenarios"][name]["events"]
+            == two["scenarios"][name]["events"]
+        )
+
+
+def test_committed_snapshot_schema():
+    # The committed BENCH_sim.json must carry the same shape this
+    # module produces (values are wall-clock and not pinned).
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_sim.json"
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "soda.bench/1"
+    assert payload["kind"] == "sim_bench"
+    assert set(payload["body"]["scenarios"]) == set(SCENARIOS)
+    assert payload["body"]["comparison"]["no_trace_faster_than_traced"]

@@ -70,6 +70,49 @@ def test_max_events_guard_raises():
         sim.run(max_events=100)
 
 
+def test_max_events_limit_is_exact():
+    # Exactly max_events events must complete without tripping the
+    # guard; one more must raise *before* the excess event executes.
+    sim = Simulator()
+    fired = []
+    for i in range(100):
+        sim.schedule(float(i), fired.append, i)
+    assert sim.run(max_events=100) == 100
+    assert len(fired) == 100
+
+    sim = Simulator()
+    fired = []
+    for i in range(101):
+        sim.schedule(float(i), fired.append, i)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(max_events=100)
+    assert len(fired) == 100  # the 101st never ran
+
+
+def test_run_until_livelock_guard():
+    # Regression: run_until used to bypass the runaway guard entirely —
+    # a livelocked protocol plus a never-true predicate spun forever.
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run_until(lambda: False, timeout=1e9, max_events=100)
+
+
+def test_run_until_backwards_time_guard():
+    # Regression: run_until used to skip the backwards-clock check.
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert sim.now == 10.0
+    sim.queue.push(5.0, lambda: None)  # corrupt: behind the clock
+    with pytest.raises(RuntimeError, match="backwards"):
+        sim.run_until(lambda: False, timeout=100.0)
+
+
 def test_run_until_predicate():
     sim = Simulator()
     state = {"done": False}
@@ -82,6 +125,34 @@ def test_run_until_predicate():
 def test_run_until_predicate_timeout():
     sim = Simulator()
     assert not sim.run_until(lambda: False, timeout=100.0)
+    assert sim.now == 100.0
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: with the queue drained before the deadline, run_until
+    # left `now` at the last event time instead of the deadline —
+    # inconsistent with run(until=...), and a later mixed run() call
+    # started from a stale clock.
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    assert not sim.run_until(lambda: False, timeout=500.0)
+    assert sim.now == 500.0
+
+    # Mixing run_until and run on one simulator stays consistent.
+    sim.schedule(100.0, lambda: None)  # fires at t=600
+    assert sim.run(until=1_000.0) == 1
+    assert sim.now == 1_000.0
+    assert not sim.run_until(lambda: False, timeout=250.0)
+    assert sim.now == 1_250.0
+
+
+def test_run_until_stops_at_predicate_not_deadline():
+    sim = Simulator()
+    state = {"done": False}
+    sim.schedule(50.0, lambda: state.update(done=True))
+    assert sim.run_until(lambda: state["done"], timeout=1_000.0)
+    # Satisfied predicates stop the clock at the satisfying event.
+    assert sim.now == 50.0
 
 
 def test_determinism_same_seed_same_trace():

@@ -139,6 +139,36 @@ def test_matrix_payload_is_deterministic():
     assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
 
 
+def test_parallel_matrix_is_byte_identical_to_serial():
+    # The parallel sweep contract (docs/SIM.md): farming cells out to
+    # worker processes must not change a byte of the merged report.
+    kwargs = dict(
+        workloads=["echo", "cancel"], schedules=["calm", "strike"]
+    )
+    serial = matrix_payload(run_matrix(seeds=(1,), **kwargs), seed=1)
+    parallel = matrix_payload(
+        run_matrix(seeds=(1,), parallel=2, **kwargs), seed=1
+    )
+    assert json.dumps(serial, sort_keys=True) == json.dumps(
+        parallel, sort_keys=True
+    )
+
+
+def test_parallel_matrix_preserves_progress_order():
+    # progress() fires in canonical enumeration order even when workers
+    # finish out of order, so CLI output stays deterministic.
+    seen = []
+    results = run_matrix(
+        workloads=["echo"],
+        schedules=["calm", "strike"],
+        seeds=(1,),
+        parallel=2,
+        progress=lambda r: seen.append(r.key),
+    )
+    assert seen == [r.key for r in results]
+    assert seen == sorted(seen)
+
+
 def test_matrix_enumeration_covers_at_least_24_cells():
     cells = matrix_cells()
     assert len(cells) >= 24
@@ -237,7 +267,10 @@ def test_make_schedule_unknown_name():
 
 @pytest.mark.chaos
 def test_full_matrix_is_clean():
-    results = run_matrix(seeds=(1,))
+    # parallel=2 doubles as the full-matrix determinism gate: the
+    # harness asserts the same verdicts the serial sweep has always
+    # produced, via worker processes.
+    results = run_matrix(seeds=(1,), parallel=2)
     assert len(results) >= 24
     failed = [r for r in results if not r.ok]
     report = "\n".join(
@@ -253,7 +286,7 @@ def test_full_matrix_streaming_verdicts_match_batch():
     """Every (workload × schedule) cell: the streaming checker must
     produce byte-identical verdicts to the batch replay, and the causal
     rules must stay silent on surviving-the-chaos runs."""
-    results = run_matrix(seeds=(1,), causal=True)
+    results = run_matrix(seeds=(1,), causal=True, parallel=2)
     failed = [r for r in results if r.causal_problems]
     report = "\n".join(
         f"{r.workload}/{r.schedule}: " + "; ".join(r.causal_problems)

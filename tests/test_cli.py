@@ -65,7 +65,7 @@ def test_chaos_matrix_failure_exits_nonzero(capsys, monkeypatch):
 
     def fake_matrix(
         workloads=None, schedules=None, seeds=(1,), progress=None,
-        causal=False,
+        causal=False, parallel=None,
     ):
         if progress is not None:
             progress(failing)
@@ -77,6 +77,51 @@ def test_chaos_matrix_failure_exits_nonzero(capsys, monkeypatch):
     assert "0/1 cell(s) clean" in out
     assert "never terminal" in out
     assert "minimal reproducer" not in out  # --no-shrink honoured
+
+
+def test_chaos_parallel_matches_serial_json(capsys, tmp_path):
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    args = [
+        "chaos",
+        "--workload",
+        "echo",
+        "--schedule",
+        "calm,strike",
+        "--no-shrink",
+    ]
+    assert main(args + ["--json", str(serial_path)]) == 0
+    assert (
+        main(args + ["--parallel", "2", "--json", str(parallel_path)])
+        == 0
+    )
+    capsys.readouterr()
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+def test_sim_bench_writes_snapshot(capsys, tmp_path):
+    import json
+
+    json_path = tmp_path / "sim.json"
+    code = main(
+        [
+            "sim-bench",
+            "--repeats",
+            "1",
+            "--scale",
+            "0.01",
+            "--json",
+            str(json_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "timer_churn" in out
+    assert "events/sec" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["schema"] == "soda.bench/1"
+    assert payload["kind"] == "sim_bench"
+    assert code in (0, 1)  # verdict is wall-clock, not pinned here
+    assert "trace_overhead" in payload["body"]["scenarios"]
 
 
 def test_recover_demo_converges(capsys, tmp_path):
