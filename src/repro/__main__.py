@@ -28,6 +28,10 @@
     python -m repro sim-bench [--repeats R] [--scale F]
                                       # raw engine events/sec benchmark
                                       # (BENCH_sim.json; docs/SIM.md)
+    python -m repro kv-bench [--seed N]
+                                      # replicated-KV availability and
+                                      # failover-time benchmark
+                                      # (BENCH_kv.json; docs/REPLICATION.md)
     python -m repro recover --demo    # crash → detect → reboot → retry
                                       # walkthrough (repro.recovery)
     python -m repro real <workload> [--seed N] [--policy P] [--loss F]
@@ -465,6 +469,66 @@ def _sim_bench(argv: List[str], json_path: Optional[str] = None) -> int:
     return 0 if fast_wins else 1
 
 
+def _kv_bench(argv: List[str], json_path: Optional[str] = None) -> int:
+    """``kv-bench``: replicated-KV availability/failover (BENCH_kv.json)."""
+    from repro.bench.kv import run_kv_bench
+    from repro.bench.tables import format_table
+
+    seed_text = _take_flag_value(argv, "--seed")
+    body = run_kv_bench(seed=int(seed_text) if seed_text else 1)
+
+    def _ms(value) -> object:
+        return "-" if value is None else round(value / 1000.0, 1)
+
+    rows = []
+    for name, cell in body["schedules"].items():
+        failover = cell["failover"]
+        rows.append(
+            (
+                name,
+                f"{cell['ops_definitive']}/{cell['ops_invoked']}",
+                f"{cell['availability']:.3f}",
+                cell["promotions"],
+                _ms(failover["promote_us"]),
+                _ms(failover["client_us"]),
+                cell["acknowledged_write_loss"],
+                len(cell["consistency_problems"]),
+            )
+        )
+    print(
+        format_table(
+            [
+                "schedule",
+                "definitive",
+                "avail",
+                "promoted",
+                "failover ms",
+                "recover ms",
+                "lost acks",
+                "violations",
+            ],
+            rows,
+            title=f"Replicated KV under chaos ({body['workload']})",
+        )
+    )
+    comparison = body["comparison"]
+    for name, cell in body["schedules"].items():
+        for problem in cell["consistency_problems"]:
+            print(f"  {name}: {problem}")
+    print(f"acknowledged writes lost: {comparison['acknowledged_write_loss']}")
+    print(f"failover bounded: {comparison['failover_bounded']}")
+    healthy = (
+        comparison["all_consistent"]
+        and comparison["acknowledged_write_loss"] == 0
+        and comparison["failover_bounded"]
+    )
+    if json_path:
+        _write_payload(
+            json_path, "kv_bench", body, meta={"seed": body["seed"]}
+        )
+    return 0 if healthy else 1
+
+
 def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
     """``recover --demo``: one scripted crash/reboot/retry walkthrough."""
     from repro.analysis.workloads import build_workload
@@ -582,10 +646,18 @@ def _real(argv: List[str], json_path: Optional[str] = None) -> int:
             f"(spurious={result.spurious_retransmits}), "
             f"impaired losses={result.impaired_losses}"
         )
+    if result.kv:
+        print(
+            f"  kv: {result.kv['ops_definitive']}/"
+            f"{result.kv['ops_invoked']} definitive, "
+            f"availability={result.kv['availability']:.3f}, "
+            f"promotions={result.kv['promotions']}"
+        )
     for line in (
         result.invariant_violations
         + result.causal_diagnostics
         + result.runner_problems
+        + result.consistency_problems
     ):
         print(f"  PROBLEM: {line}")
     print(f"real: {'ok' if result.ok else 'FAILED'}")
@@ -684,6 +756,8 @@ def main(argv=None) -> int:
         return _transport_bench(argv[1:], json_path=json_path)
     elif command == "sim-bench":
         return _sim_bench(argv[1:], json_path=json_path)
+    elif command == "kv-bench":
+        return _kv_bench(argv[1:], json_path=json_path)
     elif command == "recover":
         return _recover(argv[1:], json_path=json_path)
     elif command == "real":

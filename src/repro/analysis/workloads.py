@@ -37,6 +37,12 @@ from repro.core.patterns import make_well_known_pattern
 from repro.net.errors import FaultPlan
 from repro.recovery.retry import RetryPolicy, retry_request
 from repro.recovery.supervisor import SupervisedService, SupervisorProgram
+from repro.replication import (
+    KvClient,
+    KvFailoverSupervisor,
+    KvReplica,
+    REPL_PATTERN,
+)
 
 __all__ = [
     "BENCH_PATTERN",
@@ -169,6 +175,55 @@ class _Pinger(ClientProgram):
         yield from api.serve_forever()
 
 
+#: The replicated KV store's cluster shape (MIDs = role indexes 0..2).
+KV_REPLICAS = 3
+KV_QUORUM = 2
+
+
+def _kv_replica(index: int, claim_primary: bool = False) -> KvReplica:
+    peers = tuple(i for i in range(KV_REPLICAS) if i != index)
+    return KvReplica(
+        index=index,
+        peer_mids=peers,
+        quorum=KV_QUORUM,
+        claim_primary=claim_primary,
+    )
+
+
+def _kv_roles() -> Tuple["WorkloadRole", ...]:
+    return (
+        # replica0 claims the first epoch through the vote protocol; a
+        # chaos Reboot of this role re-runs the claim, which is exactly
+        # the stale-primary-resurfacing case epoch fencing must fence.
+        WorkloadRole("replica0", lambda: _kv_replica(0, claim_primary=True)),
+        WorkloadRole("replica1", lambda: _kv_replica(1), boot_at_us=20.0),
+        WorkloadRole("replica2", lambda: _kv_replica(2), boot_at_us=40.0),
+    )
+
+
+def _make_kv_supervisor() -> KvFailoverSupervisor:
+    services = tuple(
+        SupervisedService(
+            name=f"replica{i}",
+            mid=i,
+            pattern=REPL_PATTERN,
+            # Reboot images rejoin as backups: a node that lost its
+            # memory must never boot straight back into primaryship.
+            image=ProgramImage(
+                f"kv-replica-{i}",
+                (lambda i=i: _kv_replica(i)),
+                size_bytes=2048,
+            ),
+        )
+        for i in range(KV_REPLICAS)
+    )
+    return KvFailoverSupervisor(
+        services=services,
+        replica_mids=tuple(range(KV_REPLICAS)),
+        quorum=KV_QUORUM,
+    )
+
+
 @dataclass(frozen=True)
 class WorkloadRole:
     """One node of a workload: MIDs are assigned in listing order."""
@@ -295,6 +350,26 @@ WORKLOADS: Dict[str, WorkloadSpec] = {
             supervised=("server",),
         ),
         WorkloadSpec(
+            "kvstore",
+            seed=18,
+            until_us=20_000_000.0,
+            roles=_kv_roles()
+            + (WorkloadRole("client", KvClient, boot_at_us=150.0),),
+        ),
+        WorkloadSpec(
+            "kvstore_supervised",
+            seed=19,
+            until_us=20_000_000.0,
+            roles=_kv_roles()
+            + (
+                WorkloadRole(
+                    "supervisor", _make_kv_supervisor, boot_at_us=60.0
+                ),
+                WorkloadRole("client", KvClient, boot_at_us=150.0),
+            ),
+            supervised=("replica0", "replica1", "replica2"),
+        ),
+        WorkloadSpec(
             "signal",
             seed=16,
             until_us=60_000_000.0,
@@ -322,7 +397,7 @@ def _noarb_philosopher(index: int, count: int = 5):
 
 #: Extra workloads for ``python -m repro causal`` only.  They are *not*
 #: part of ``WORKLOADS`` — the chaos matrix, check-trace and the tier-1
-#: gates stay exactly the 7 originals — because these exist to
+#: gates stay the named set above — because these exist to
 #: demonstrate pathologies: ``philosophers_noarb`` runs the §4.4.3 ring
 #: with the hold-and-wait acquisition order and no deadlock detector,
 #: so it *must* end with a SODA013 wait-for cycle.

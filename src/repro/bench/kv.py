@@ -1,0 +1,129 @@
+"""The replicated-KV benchmark: availability and failover time.
+
+Runs the ``kvstore_supervised`` workload under a few chaos schedules —
+the fault-free control, the headline ``primary_crash_load`` (power-fail
+the primary under client load, no scripted reboot: the supervisor must
+fail over), and ``partition_heal`` (promote *during* a partition, fence
+the stale primary at heal) — and reports, per schedule:
+
+* **availability** — definitively-answered ops / invoked ops;
+* **failover time** — primary crash (or isolation) to the next
+  definitive client outcome, and to the replacement's ``kv.promote``;
+* **acknowledged_write_loss** — the count of "lost acknowledged write"
+  verdicts from :func:`repro.replication.consistency.check_kv_consistency`
+  (the CI drift check pins this to zero: losing an acked write is never
+  a tuning regression, it is a correctness bug);
+* the full consistency-problem list (must be empty).
+
+Deterministic: same seed ⇒ the same virtual-time runs ⇒ an identical
+``BENCH_kv.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.workloads import build_workload
+from repro.chaos.runner import chaos_config, make_schedule
+from repro.chaos.scenario import GRACE_US
+from repro.replication.consistency import check_kv_consistency, kv_summary
+
+__all__ = ["run_kv_bench", "KV_BENCH_SCHEDULES"]
+
+#: The schedules the bench sweeps, in report order.
+KV_BENCH_SCHEDULES = ("calm", "primary_crash_load", "partition_heal")
+
+WORKLOAD = "kvstore_supervised"
+
+
+def _failover_metrics(records) -> Dict[str, Optional[float]]:
+    """Crash-to-recovery intervals out of one run's trace.
+
+    ``detect_us`` is the first primary loss (node crash, or isolation
+    implied by a later promotion) to the replacement's ``kv.promote``;
+    ``client_us`` extends to the next definitive client outcome after
+    the loss.  ``None`` when the schedule never unseated a primary.
+    """
+    crash_at: Optional[float] = None
+    promote_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+    primaries: List[int] = []
+    for rec in records:
+        if rec.category == "kv.promote":
+            primaries.append(rec["mid"])
+            # The *first* promotion is cluster cold-boot, not failover.
+            if crash_at is not None and promote_at is None:
+                promote_at = rec.time
+        elif rec.category == "kernel.crash":
+            if crash_at is None and rec["mid"] in primaries:
+                crash_at = rec.time
+        elif rec.category == "kv.result":
+            if (
+                crash_at is not None
+                and recovered_at is None
+                and rec.time > crash_at
+                and rec["status"] in ("ok", "cas_fail")
+            ):
+                recovered_at = rec.time
+    return {
+        "crash_at_us": crash_at,
+        "promote_us": (
+            None if crash_at is None or promote_at is None
+            else promote_at - crash_at
+        ),
+        "client_us": (
+            None if crash_at is None or recovered_at is None
+            else recovered_at - crash_at
+        ),
+    }
+
+
+def run_kv_bench(seed: int = 1) -> Dict[str, object]:
+    """The ``BENCH_kv.json`` body (wrap via ``snapshot_payload``)."""
+    schedules: Dict[str, Dict[str, object]] = {}
+    for name in KV_BENCH_SCHEDULES:
+        built = build_workload(WORKLOAD, seed=seed, config=chaos_config())
+        scenario = make_schedule(name, built.spec)
+        scenario.apply(built)
+        horizon = max(
+            built.spec.until_us, scenario.last_action_us + 2 * GRACE_US
+        )
+        built.net.run(until=horizon)
+        records = built.net.sim.trace.records
+
+        problems = check_kv_consistency(records)
+        summary = kv_summary(records)
+        failover = _failover_metrics(records)
+        schedules[name] = {
+            "ops_invoked": summary["ops_invoked"],
+            "ops_definitive": summary["ops_definitive"],
+            "availability": summary["availability"],
+            "outcomes": summary["outcomes"],
+            "entries_applied": summary["entries_applied"],
+            "promotions": summary["promotions"],
+            "failover": failover,
+            "acknowledged_write_loss": sum(
+                1 for p in problems if p.startswith("lost acknowledged")
+            ),
+            "consistency_problems": problems,
+        }
+
+    crash_cell = schedules["primary_crash_load"]
+    comparison = {
+        "all_consistent": all(
+            not cell["consistency_problems"] for cell in schedules.values()
+        ),
+        "acknowledged_write_loss": sum(
+            cell["acknowledged_write_loss"] for cell in schedules.values()
+        ),
+        "failover_client_us": crash_cell["failover"]["client_us"],
+        "failover_bounded": (
+            crash_cell["failover"]["client_us"] is not None
+        ),
+    }
+    return {
+        "workload": WORKLOAD,
+        "seed": seed,
+        "schedules": schedules,
+        "comparison": comparison,
+    }

@@ -27,10 +27,12 @@ from repro.analysis.workloads import WORKLOADS, WorkloadSpec, build_workload
 from repro.chaos.scenario import (
     GRACE_US,
     ClientDie,
+    DuplicateWindow,
     LossWindow,
     NodeCrash,
     Partition,
     Reboot,
+    ReorderWindow,
     Scenario,
     TargetedDrop,
     ThunderingHerd,
@@ -44,6 +46,7 @@ from repro.core.config import KernelConfig
 from repro.obs.export import snapshot_payload
 from repro.obs.spans import build_spans
 from repro.recovery.convergence import check_self_heal, recovery_summary
+from repro.replication.consistency import check_kv_consistency, kv_summary
 from repro.transport.adaptive import AdaptivePolicy, deltat_for_policy
 from repro.transport.retransmit import RetransmitPolicy
 
@@ -180,6 +183,67 @@ def _thundering_herd(spec: WorkloadSpec) -> Scenario:
     )
 
 
+def _duplicate(spec: WorkloadSpec) -> Scenario:
+    # Frame replay: 15% of surviving deliveries arrive twice, the echo
+    # 150µs behind the original — stale REQUESTs, ACCEPT replies, and
+    # replication APPENDs all replayed after they were acted on.
+    return Scenario(
+        "duplicate",
+        (DuplicateWindow(0.0, 2_500_000.0, probability=0.15),),
+    )
+
+
+def _reorder(spec: WorkloadSpec) -> Scenario:
+    # Overtaking: 15% of deliveries held back 600µs so younger frames
+    # pass them — out-of-order arrival with nothing actually lost.
+    return Scenario(
+        "reorder",
+        (ReorderWindow(0.0, 2_500_000.0, probability=0.15, extra_us=600.0),),
+    )
+
+
+def _primary_crash_load(spec: WorkloadSpec) -> Scenario:
+    # The KV failover headline: power-fail the first role (the initial
+    # KV primary) under client load with *no scripted reboot* — a
+    # supervised cluster must fail over, an unsupervised one must fail
+    # every subsequent op definitively rather than lie.
+    return Scenario(
+        "primary_crash_load",
+        (NodeCrash(200_000.0, role=_server_role(spec)),),
+    )
+
+
+def _backup_flap(spec: WorkloadSpec) -> Scenario:
+    # Kill and reboot a *backup* (the second replica role when there is
+    # one).  The primary keeps serving through the flap at quorum; the
+    # rebooted backup comes back amnesiac and must anti-entropy catch up
+    # before its CONFIRMs count again.
+    roles = [role.name for role in spec.roles]
+    role = roles[1] if len(roles) >= 3 else roles[-1]
+    return Scenario(
+        "backup_flap",
+        (
+            ClientDie(180_000.0, role=role),
+            Reboot(900_000.0, role=role),
+        ),
+    )
+
+
+def _partition_heal(spec: WorkloadSpec) -> Scenario:
+    # Isolate the first role (the KV primary) long enough for the
+    # supervisor to promote a replacement *during* the partition, then
+    # heal: the stale primary resurfaces mid-epoch and must be fenced by
+    # the first APPEND/CONFIRM it exchanges, not allowed to ack writes.
+    return Scenario(
+        "partition_heal",
+        (
+            Partition(
+                120_000.0, 2_600_000.0, isolate=(_server_role(spec),)
+            ),
+        ),
+    )
+
+
 def _flap(spec: WorkloadSpec) -> Scenario:
     # Flapping node: die, get healed (supervisor), die again — forcing
     # two full supervision cycles.  For unsupervised workloads the
@@ -208,6 +272,11 @@ SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "flap": _flap,
     "sustained_loss": _sustained_loss,
     "thundering_herd": _thundering_herd,
+    "duplicate": _duplicate,
+    "reorder": _reorder,
+    "primary_crash_load": _primary_crash_load,
+    "backup_flap": _backup_flap,
+    "partition_heal": _partition_heal,
 }
 
 #: The recovery schedules judged by the self-heal check (plus every
@@ -236,6 +305,18 @@ DEGRADATION_BOUNDS: Dict[str, DegradationBounds] = {
     "crash_idle": DegradationBounds(goodput_floor=0.0),
     "crash_load": DegradationBounds(goodput_floor=0.0),
     "flap": DegradationBounds(goodput_floor=0.0),
+    # Nothing is lost under duplication/reordering, so transactions all
+    # complete — just a little late where a held-back frame forced a
+    # retransmission round.
+    "duplicate": DegradationBounds(
+        goodput_floor=0.8, p99_latency_us=3_000_000.0
+    ),
+    "reorder": DegradationBounds(
+        goodput_floor=0.7, p99_latency_us=3_000_000.0
+    ),
+    "primary_crash_load": DegradationBounds(goodput_floor=0.0),
+    "backup_flap": DegradationBounds(goodput_floor=0.0),
+    "partition_heal": DegradationBounds(goodput_floor=0.0),
 }
 
 #: Bounds applied to ad-hoc scenarios (shrinker reproducers).
@@ -273,9 +354,14 @@ class CellResult:
     #: Causal verdicts (``run_cell(..., causal=True)``): SODA010-013
     #: diagnostics plus any streaming/batch checker disagreement.
     causal_problems: List[str] = field(default_factory=list)
+    #: KV linearizability verdicts (lost acked writes, stale reads,
+    #: double-applied CAS...); empty for workloads without ``kv.*``
+    #: records.
+    consistency_problems: List[str] = field(default_factory=list)
     spans_by_status: Dict[str, int] = field(default_factory=dict)
     faults: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, object] = field(default_factory=dict)
+    kv: Dict[str, object] = field(default_factory=dict)
     frames_sent: int = 0
 
     @property
@@ -286,6 +372,7 @@ class CellResult:
             and not self.selfheal_problems
             and not self.degradation_problems
             and not self.causal_problems
+            and not self.consistency_problems
         )
 
     @property
@@ -304,9 +391,11 @@ class CellResult:
             "selfheal_problems": list(self.selfheal_problems),
             "degradation_problems": list(self.degradation_problems),
             "causal_problems": list(self.causal_problems),
+            "consistency_problems": list(self.consistency_problems),
             "spans_by_status": dict(sorted(self.spans_by_status.items())),
             "faults": dict(sorted(self.faults.items())),
             "recovery": self.recovery,
+            "kv": self.kv,
             "frames_sent": self.frames_sent,
         }
 
@@ -358,6 +447,11 @@ def run_cell(
         DEGRADATION_BOUNDS.get(schedule, DEFAULT_DEGRADATION_BOUNDS),
     )
 
+    records = net.sim.trace.records
+    consistency = check_kv_consistency(records)
+    summary = kv_summary(records)
+    kv = summary if summary["ops_invoked"] else {}
+
     by_status: Dict[str, int] = {}
     for span in spans:
         by_status[span.status] = by_status.get(span.status, 0) + 1
@@ -372,7 +466,9 @@ def run_cell(
         selfheal_problems=selfheal,
         degradation_problems=degradation,
         causal_problems=causal_problems,
-        recovery=recovery_summary(net.sim.trace.records),
+        consistency_problems=consistency,
+        recovery=recovery_summary(records),
+        kv=kv,
         spans_by_status=by_status,
         faults={
             "frames_lost": faults.frames_lost,
@@ -381,6 +477,8 @@ def run_cell(
             "deliveries_predicate_dropped": (
                 faults.deliveries_predicate_dropped
             ),
+            "deliveries_duplicated": faults.deliveries_duplicated,
+            "deliveries_reordered": faults.deliveries_reordered,
         },
         frames_sent=net.bus.frames_sent,
     )

@@ -61,6 +61,73 @@ class LossWindow:
 
 
 @dataclass(frozen=True)
+class DuplicateWindow:
+    """Deliver a fraction of frames twice between two instants.
+
+    The second copy arrives ``delay_us`` later — long enough to land
+    after the receiver has already acted on the first, which is exactly
+    the replay the transaction-ID/epoch machinery must absorb.
+    """
+
+    start_us: float
+    end_us: float
+    probability: float = 0.1
+    delay_us: float = 150.0
+
+    def apply(self, built: BuiltWorkload) -> None:
+        faults = built.net.faults
+        saved: List[Tuple[float, float]] = []
+
+        def begin() -> None:
+            saved.append(
+                (faults.duplicate_probability, faults.duplicate_delay_us)
+            )
+            faults.duplicate_probability = self.probability
+            faults.duplicate_delay_us = self.delay_us
+
+        def end() -> None:
+            faults.duplicate_probability, faults.duplicate_delay_us = (
+                saved.pop() if saved else (0.0, 150.0)
+            )
+
+        built.net.sim.at(self.start_us, begin)
+        built.net.sim.at(self.end_us, end)
+
+
+@dataclass(frozen=True)
+class ReorderWindow:
+    """Hold back a fraction of deliveries between two instants.
+
+    A held delivery arrives ``extra_us`` late, so frames transmitted
+    after it overtake it — out-of-order arrival without loss.
+    """
+
+    start_us: float
+    end_us: float
+    probability: float = 0.1
+    extra_us: float = 400.0
+
+    def apply(self, built: BuiltWorkload) -> None:
+        faults = built.net.faults
+        saved: List[Tuple[float, float]] = []
+
+        def begin() -> None:
+            saved.append(
+                (faults.reorder_probability, faults.reorder_extra_us)
+            )
+            faults.reorder_probability = self.probability
+            faults.reorder_extra_us = self.extra_us
+
+        def end() -> None:
+            faults.reorder_probability, faults.reorder_extra_us = (
+                saved.pop() if saved else (0.0, 400.0)
+            )
+
+        built.net.sim.at(self.start_us, begin)
+        built.net.sim.at(self.end_us, end)
+
+
+@dataclass(frozen=True)
 class Partition:
     """Sever all traffic between ``isolate`` roles and everyone else."""
 
@@ -228,6 +295,8 @@ class ThunderingHerd:
 
 Action = Union[
     LossWindow,
+    DuplicateWindow,
+    ReorderWindow,
     Partition,
     TargetedDrop,
     ClientDie,
@@ -239,6 +308,8 @@ Action = Union[
 #: Action classes, exported for reproducer scripts.
 ACTION_TYPES: Tuple[type, ...] = (
     LossWindow,
+    DuplicateWindow,
+    ReorderWindow,
     Partition,
     TargetedDrop,
     ClientDie,

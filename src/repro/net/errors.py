@@ -21,6 +21,16 @@ discarded, not wire frames.  Drop *predicates* also see each
 ``(frame, receiver)`` pair because partitions are inherently
 receiver-specific; their counter (``deliveries_predicate_dropped``) is
 likewise per delivery.
+
+Beyond losing deliveries, a plan can *duplicate* or *reorder* them
+(ISSUE 9): real datagram fabrics replay frames (link-layer retransmit
+glitches, route flaps) and overtake them (multipath).  Both are
+evaluated per receiver after the drop verdict: a duplicated delivery
+arrives intact twice — the second copy ``duplicate_delay_us`` later —
+and a reordered delivery is held back ``reorder_extra_us`` so frames
+sent after it overtake it on the wire.  The protocol must shrug at
+both: transaction IDs make duplicates idempotent and sequence/epoch
+checks make stale arrivals harmless.
 """
 
 from __future__ import annotations
@@ -61,13 +71,25 @@ class FaultPlan:
         self,
         loss_probability: float = 0.0,
         corruption_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        duplicate_delay_us: float = 150.0,
+        reorder_extra_us: float = 400.0,
     ) -> None:
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability out of range")
         if not 0.0 <= corruption_probability <= 1.0:
             raise ValueError("corruption_probability out of range")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability out of range")
+        if not 0.0 <= reorder_probability <= 1.0:
+            raise ValueError("reorder_probability out of range")
         self.loss_probability = loss_probability
         self.corruption_probability = corruption_probability
+        self.duplicate_probability = duplicate_probability
+        self.reorder_probability = reorder_probability
+        self.duplicate_delay_us = duplicate_delay_us
+        self.reorder_extra_us = reorder_extra_us
         self._drop_predicates: List[DropPredicate] = []
         self._drops_remaining = 0
         self._strikes: List[_ScriptedStrike] = []
@@ -83,6 +105,9 @@ class FaultPlan:
         self.frames_scripted_drops = 0
         #: Deliveries discarded by drop predicates (per receiver).
         self.deliveries_predicate_dropped = 0
+        #: Deliveries that arrived twice / were held back (per receiver).
+        self.deliveries_duplicated = 0
+        self.deliveries_reordered = 0
 
     # -- deterministic scripting ------------------------------------------
 
@@ -181,3 +206,28 @@ class FaultPlan:
             self.frames_corrupted += 1
             return False
         return True
+
+    def delivery_delays(self, frame: Frame, receiver_mid: int, rng):
+        """Extra-delay offsets (µs) for one *surviving* delivery.
+
+        Called only after :meth:`delivers` said yes.  ``[0.0]`` is the
+        normal case; a duplicated delivery adds a second, later copy and
+        a reordered delivery holds its single copy back so frames sent
+        after it overtake it.  Duplication wins if both fire — a
+        duplicate whose first copy is also late is indistinguishable
+        from one late copy plus one duplicate, so we keep the verdicts
+        disjoint and the accounting unambiguous.
+        """
+        if (
+            self.duplicate_probability > 0.0
+            and rng.random() < self.duplicate_probability
+        ):
+            self.deliveries_duplicated += 1
+            return [0.0, self.duplicate_delay_us]
+        if (
+            self.reorder_probability > 0.0
+            and rng.random() < self.reorder_probability
+        ):
+            self.deliveries_reordered += 1
+            return [self.reorder_extra_us]
+        return [0.0]

@@ -127,7 +127,25 @@ class BroadcastBus:
             receivers = [nic] if nic is not None else []
         for nic in receivers:
             if self.faults.delivers(frame, nic.mid, rng):
-                nic.deliver(frame)
+                delays = self.faults.delivery_delays(frame, nic.mid, rng)
+                for delay in delays:
+                    if delay <= 0.0:
+                        nic.deliver(frame)
+                    else:
+                        # A duplicated or held-back copy: same intact
+                        # frame, later arrival.  `schedule` keeps the
+                        # NIC callable even if it detaches meanwhile
+                        # (deliver() checks `enabled` itself).
+                        self.sim.schedule(delay, nic.deliver, frame)
+                if len(delays) != 1 or delays[0] > 0.0:
+                    self.sim.trace.record(
+                        self.sim.now,
+                        "net.replay",
+                        src=frame.src,
+                        dst=nic.mid,
+                        frame_id=frame.frame_id,
+                        kind="dup" if len(delays) > 1 else "reorder",
+                    )
             else:
                 self.sim.trace.record(
                     self.sim.now,

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -46,6 +48,16 @@ START_GRACE_S = 0.75
 
 #: Seconds past the horizon before stragglers are declared wedged.
 DONE_GRACE_S = 15.0
+
+
+def _kill_group(child: subprocess.Popen) -> None:
+    """SIGKILL a child's whole process group (it leads its own session)."""
+    if child.poll() is not None:
+        return
+    try:
+        os.killpg(os.getpgid(child.pid), signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):  # pragma: no cover
+        child.kill()
 
 
 def policy_for(name: str) -> RetransmitPolicy:
@@ -80,6 +92,13 @@ class RealRunResult:
     invariant_violations: List[str] = field(default_factory=list)
     causal_diagnostics: List[str] = field(default_factory=list)
     runner_problems: List[str] = field(default_factory=list)
+    #: KV linearizability verdicts over the merged trace (empty for
+    #: workloads without ``kv.*`` records).
+    consistency_problems: List[str] = field(default_factory=list)
+    kv: Dict[str, Any] = field(default_factory=dict)
+    #: When a child wedged or died, the tail of whatever trace records
+    #: it *did* write — evidence attached to the failed run.
+    partial_trace_tail: List[Dict[str, Any]] = field(default_factory=list)
     send_edges: int = 0
     unmatched_rx: int = 0
     spans_total: int = 0
@@ -97,6 +116,7 @@ class RealRunResult:
             self.invariant_violations
             or self.causal_diagnostics
             or self.runner_problems
+            or self.consistency_problems
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -111,6 +131,9 @@ class RealRunResult:
             "invariant_violations": self.invariant_violations,
             "causal_diagnostics": self.causal_diagnostics,
             "runner_problems": self.runner_problems,
+            "consistency_problems": self.consistency_problems,
+            "kv": self.kv,
+            "partial_trace_tail": self.partial_trace_tail,
             "send_edges": self.send_edges,
             "unmatched_rx": self.unmatched_rx,
             "spans": {
@@ -138,7 +161,15 @@ def analyze_merged(
     from repro.analysis.invariants import InvariantChecker
     from repro.obs.instrument import MetricsHub
 
-    checker = InvariantChecker(policy=policy, strict_completion=True)
+    from repro.replication.consistency import check_kv_consistency, kv_summary
+
+    summary = kv_summary(records)
+    kv_run = bool(summary["ops_invoked"])
+    # KV workloads replicate forever — there is always an APPEND in
+    # flight when the horizon guillotines the run — so they get the
+    # same non-strict completion the sim chaos harness uses; their real
+    # completion story is the linearizability verdict below.
+    checker = InvariantChecker(policy=policy, strict_completion=not kv_run)
     result.invariant_violations = [
         v.format() for v in checker.check(tracer_from_records(records), ledger=ledger)
     ]
@@ -169,6 +200,12 @@ def analyze_merged(
     result.impaired_losses = sum(
         1 for rec in records if rec.category == "net.drop"
     )
+
+    # The KV consistency verdict runs on the same merged stream the sim
+    # chaos harness checks — that is the whole point of the design.
+    if kv_run:
+        result.kv = summary
+        result.consistency_problems = check_kv_consistency(records)
 
 
 # ---------------------------------------------------------------------------
@@ -250,7 +287,10 @@ async def _parent(
             "--trace",
             str(trace_paths[mid]),
         ]
-        children.append(subprocess.Popen(argv))
+        # Each child leads its own session/process group so a wedged
+        # child — including anything it may have forked — can be killed
+        # as a group rather than orphaned.
+        children.append(subprocess.Popen(argv, start_new_session=True))
 
     async def gather(
         have, needed: int, timeout_s: float, phase: str
@@ -270,10 +310,16 @@ async def _parent(
                 return False
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                result.runner_problems.append(
-                    f"{phase}: timed out waiting for "
-                    f"{needed - len(have)}/{needed} node process(es)"
+                wedged = sorted(
+                    mid for mid in range(len(children)) if mid not in have
                 )
+                result.runner_problems.append(
+                    f"{phase}: timed out after {timeout_s:.0f}s waiting "
+                    f"for node process(es) {wedged}; killing their "
+                    f"process groups"
+                )
+                for mid in wedged:
+                    _kill_group(children[mid])
                 return False
             progress.clear()
             try:
@@ -330,7 +376,7 @@ async def _parent(
             try:
                 child.wait(timeout=5)
             except subprocess.TimeoutExpired:  # pragma: no cover
-                child.kill()
+                _kill_group(child)
                 child.wait()
 
     failed = [
@@ -352,10 +398,26 @@ async def _parent(
             f"{len(present)} process(es)"
         )
         analyze_merged(merged, ledger, policy_for(policy_name), result)
-    elif not result.runner_problems:  # pragma: no cover - defensive
-        result.runner_problems.append(
-            f"only {len(present)}/{count} trace file(s) were written"
-        )
+    else:
+        # A child wedged or died before dumping.  The run is failed,
+        # but whatever the survivors wrote is still evidence: merge it
+        # and attach the tail so the failure report shows where the
+        # trace stops.
+        if not result.runner_problems:  # pragma: no cover - defensive
+            result.runner_problems.append(
+                f"only {len(present)}/{count} trace file(s) were written"
+            )
+        if present:
+            _metas, merged, _ledger = merge_traces(present)
+            result.records = len(merged)
+            result.partial_trace_tail = [
+                {"time": rec.time, "category": rec.category, **rec.fields}
+                for rec in merged[-40:]
+            ]
+            out(
+                f"  partial: merged {len(merged)} record(s) from "
+                f"{len(present)}/{count} trace file(s)"
+            )
     return result
 
 

@@ -58,6 +58,10 @@ class Impairments:
     jitter_us: float = 0.0
     reorder_probability: float = 0.0
     reorder_extra_us: float = 2_000.0
+    #: Deliver a fraction of datagrams twice, the copy this much later —
+    #: the real-socket mirror of the sim's ``DuplicateWindow``.
+    duplicate_probability: float = 0.0
+    duplicate_delay_us: float = 2_000.0
     #: Deterministic alternative to ``loss_probability``: drop every
     #: Nth delivery per sender (0 = off).  The sim-vs-real bench uses
     #: this so both policies face the *same* loss pattern — coin-flip
@@ -71,6 +75,7 @@ class Impairments:
             or self.delay_us > 0.0
             or self.jitter_us > 0.0
             or self.reorder_probability > 0.0
+            or self.duplicate_probability > 0.0
             or self.drop_every > 0
         )
 
@@ -160,8 +165,10 @@ class UdpMedium:
         self.frames_impaired_lost = 0
         self.frames_delayed = 0
         self.frames_reordered = 0
+        self.frames_duplicated = 0
         self.mid_screened = 0
         self._deliveries_by_sender: Dict[int, int] = {}
+        self._closed = False
 
     # -- topology -----------------------------------------------------------
 
@@ -211,6 +218,7 @@ class UdpMedium:
         )
 
     def close(self) -> None:
+        self._closed = True
         for protocol in self._protocols.values():
             if protocol.transport is not None:
                 protocol.transport.close()
@@ -299,6 +307,25 @@ class UdpMedium:
             ):
                 delay_us += impair.reorder_extra_us
                 self.frames_reordered += 1
+            if (
+                impair.duplicate_probability > 0.0
+                and rng.random() < impair.duplicate_probability
+            ):
+                # Second copy of the same datagram, later: a replayed
+                # frame the receiver must treat as stale, not new work.
+                self.frames_duplicated += 1
+                self.sim.trace.record(
+                    self.sim.now,
+                    "net.replay",
+                    src=frame.src,
+                    dst=dst_mid,
+                    frame_id=frame.frame_id,
+                    kind="dup",
+                )
+                self.sim.schedule(
+                    delay_us + impair.duplicate_delay_us,
+                    self._sendto, frame.src, datagram, dst_mid,
+                )
             if delay_us > 0.0:
                 self.frames_delayed += 1
                 self.sim.schedule(
@@ -308,6 +335,12 @@ class UdpMedium:
         self._sendto(frame.src, datagram, dst_mid)
 
     def _sendto(self, src_mid: int, datagram: bytes, dst_mid: int) -> None:
+        if self._closed:
+            # A timer callback (retransmit, replication round, delayed
+            # duplicate) racing the shutdown path: the socket is gone,
+            # the datagram simply never leaves — exactly like pulling a
+            # real cable.
+            return
         address = self.registry.get(dst_mid)
         if address is None:  # peer vanished after a delay strike
             return

@@ -68,6 +68,30 @@ def _pinger(rounds: int):
     return lambda: PingClient(rounds=rounds)
 
 
+def _kv_replica0():
+    from repro.replication import KvReplica
+
+    return KvReplica(0, (1, 2), claim_primary=True)
+
+
+def _kv_replica1():
+    from repro.replication import KvReplica
+
+    return KvReplica(1, (0, 2))
+
+
+def _kv_replica2():
+    from repro.replication import KvReplica
+
+    return KvReplica(2, (0, 1))
+
+
+def _kv_client():
+    from repro.replication import KvClient
+
+    return KvClient(total=12)
+
+
 #: Real-backend workloads.  ``pingpong`` is the acceptance workload:
 #: one server + two clients = three OS processes under the runner.
 REAL_WORKLOADS: Dict[str, WorkloadSpec] = {
@@ -91,6 +115,21 @@ REAL_WORKLOADS: Dict[str, WorkloadSpec] = {
                 WorkloadRole("server", PingServer),
                 WorkloadRole("burst1", _pinger(25), boot_at_us=50_000.0),
                 WorkloadRole("burst2", _pinger(25), boot_at_us=80_000.0),
+            ),
+        ),
+        # The replicated KV store over real sockets: the same programs
+        # the sim's kvstore workload runs, one OS process per replica.
+        # Role index = MID, so replica peer lists are the other two
+        # role indexes.
+        WorkloadSpec(
+            "kvstore",
+            seed=33,
+            until_us=6_000_000.0,
+            roles=(
+                WorkloadRole("replica0", _kv_replica0),
+                WorkloadRole("replica1", _kv_replica1, boot_at_us=20_000.0),
+                WorkloadRole("replica2", _kv_replica2, boot_at_us=40_000.0),
+                WorkloadRole("client", _kv_client, boot_at_us=250_000.0),
             ),
         ),
     )

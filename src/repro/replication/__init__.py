@@ -1,0 +1,37 @@
+"""A replicated key-value store over SODA primitives (ISSUE 9).
+
+Primary-backup replication with an epoch-fenced failover protocol,
+running unchanged over the sim and netreal backends.  See
+``docs/REPLICATION.md`` for the protocol and its safety argument.
+"""
+
+from repro.replication.client import KvClient
+from repro.replication.consistency import check_kv_consistency, kv_summary
+from repro.replication.failover import KvFailoverSupervisor
+from repro.replication.store import KvReplica
+from repro.replication.wire import (
+    KV_PATTERN,
+    REPL_PATTERN,
+    Entry,
+    make_token,
+    pack_op,
+    pack_result,
+    unpack_op,
+    unpack_result,
+)
+
+__all__ = [
+    "KV_PATTERN",
+    "REPL_PATTERN",
+    "Entry",
+    "KvClient",
+    "KvFailoverSupervisor",
+    "KvReplica",
+    "check_kv_consistency",
+    "kv_summary",
+    "make_token",
+    "pack_op",
+    "pack_result",
+    "unpack_op",
+    "unpack_result",
+]

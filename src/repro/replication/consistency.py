@@ -1,0 +1,156 @@
+"""The KV consistency verdict: replay acknowledged operations.
+
+The KV analogue of the at-most-once ledger: replicas record every
+committed application (``kv.apply``) and clients record every
+operation and its definitive outcome (``kv.invoke`` / ``kv.result``).
+This checker replays the merged trace — it works identically on a sim
+trace and on the netreal runner's epoch-merged multi-process trace —
+and fails the run on:
+
+* **divergent commit** — two replicas applied different entries at the
+  same log index (the replication safety property itself);
+* **lost acknowledged write** — a client was told ``ok`` for a write
+  whose token no replica ever committed, or committed under a
+  different version than acknowledged;
+* **double-applied write** — one token applied at two log indexes
+  (an at-most-once violation: some retry path re-executed);
+* **CAS liveness lies** — a CAS acknowledged as failed that actually
+  mutated state;
+* **stale read** — a GET invoked after a write's acknowledgement that
+  returned an older version of the key, or a value token that never
+  was the committed value at the returned version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["check_kv_consistency", "kv_summary"]
+
+
+def check_kv_consistency(records) -> List[str]:
+    """Replay ``kv.*`` trace records; returns violation strings."""
+    problems: List[str] = []
+    apply_by_index: Dict[int, Tuple] = {}
+    applied_sites: Dict[int, Set[int]] = {}
+    write_results = []
+    read_results = []
+    for rec in records:
+        category = rec.category
+        if category == "kv.apply":
+            index = rec["index"]
+            info = (
+                rec["epoch"], rec["op"], rec["key"], rec["token"],
+                rec["version"], rec["applied"],
+            )
+            previous = apply_by_index.get(index)
+            if previous is None:
+                apply_by_index[index] = info
+            elif previous != info:
+                problems.append(
+                    f"divergent commit at log index {index}: "
+                    f"{previous} vs {info}"
+                )
+            if rec["applied"] and rec["op"] in ("put", "cas"):
+                applied_sites.setdefault(rec["token"], set()).add(index)
+        elif category == "kv.result":
+            entry = (
+                rec.time, rec.get("invoked_at", rec.time), rec["mid"],
+                rec["seq"], rec["op"], rec["key"], rec["status"],
+                rec["version"], rec["token"], rec.get("wtoken", 0),
+            )
+            if rec["op"] == "get":
+                read_results.append(entry)
+            else:
+                write_results.append(entry)
+
+    for token, sites in applied_sites.items():
+        if len(sites) > 1:
+            problems.append(
+                f"write token {token} applied at log indexes "
+                f"{sorted(sites)} (at-most-once violation)"
+            )
+
+    #: version -> (key, token) over applied writes; versions are log
+    #: positions, so each maps to exactly one committed value.
+    value_at_version: Dict[int, Tuple[int, int]] = {}
+    for index, info in sorted(apply_by_index.items()):
+        _epoch, op, key, token, version, applied = info
+        if applied and op in ("put", "cas"):
+            value_at_version[version] = (key, token)
+
+    #: per key: (ack time, version) of definitively acknowledged writes.
+    acked_versions: Dict[int, List[Tuple[float, int]]] = {}
+    for (t_ack, _t0, mid, seq, op, key, status, version, _vtok, wtoken) in (
+        write_results
+    ):
+        where = f"{op} (mid={mid}, seq={seq}, key={key})"
+        if status == "ok":
+            sites = applied_sites.get(wtoken, set())
+            if not sites:
+                problems.append(
+                    f"lost acknowledged write: {where} acked at "
+                    f"version {version} but never committed"
+                )
+            elif value_at_version.get(version) != (key, wtoken):
+                problems.append(
+                    f"acknowledged write {where} reports version "
+                    f"{version}, but the commit there is "
+                    f"{value_at_version.get(version)}"
+                )
+            acked_versions.setdefault(key, []).append((t_ack, version))
+        elif status == "cas_fail" and wtoken in applied_sites:
+            problems.append(
+                f"CAS acked as failed but applied: {where} at log "
+                f"indexes {sorted(applied_sites[wtoken])}"
+            )
+
+    for (_t_ack, t0, mid, seq, _op, key, status, version, vtok, _w) in (
+        read_results
+    ):
+        if status != "ok":
+            continue
+        floor = 0
+        for t_w, v_w in acked_versions.get(key, ()):
+            if t_w <= t0 and v_w > floor:
+                floor = v_w
+        if version < floor:
+            problems.append(
+                f"stale read: get (mid={mid}, seq={seq}, key={key}) "
+                f"invoked at t={t0:.0f} returned version {version} "
+                f"after version {floor} was acknowledged"
+            )
+        if version > 0 and value_at_version.get(version) != (key, vtok):
+            problems.append(
+                f"phantom read: get (mid={mid}, seq={seq}, key={key}) "
+                f"returned (version={version}, token={vtok}) but the "
+                f"commit there is {value_at_version.get(version)}"
+            )
+    return problems
+
+
+def kv_summary(records) -> Dict[str, object]:
+    """Operation accounting for reports and the kv bench."""
+    invoked = 0
+    outcomes: Dict[str, int] = {}
+    commits = 0
+    promotions = 0
+    for rec in records:
+        if rec.category == "kv.invoke":
+            invoked += 1
+        elif rec.category == "kv.result":
+            status = rec["status"]
+            outcomes[status] = outcomes.get(status, 0) + 1
+        elif rec.category == "kv.apply":
+            commits += 1
+        elif rec.category == "kv.promote":
+            promotions += 1
+    definitive = outcomes.get("ok", 0) + outcomes.get("cas_fail", 0)
+    return {
+        "ops_invoked": invoked,
+        "outcomes": dict(sorted(outcomes.items())),
+        "ops_definitive": definitive,
+        "availability": (definitive / invoked) if invoked else 1.0,
+        "entries_applied": commits,
+        "promotions": promotions,
+    }

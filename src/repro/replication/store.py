@@ -1,0 +1,578 @@
+"""The replicated key-value replica program.
+
+Primary-backup replication with epoch fencing over unreliable
+broadcast, built only from SODA primitives:
+
+* Clients REQUEST against :data:`~repro.replication.wire.KV_PATTERN`
+  (advertised by the primary alone); the whole operation rides in the
+  request argument (see :mod:`repro.replication.wire`), so the handler
+  decides everything at arrival and never needs the payload.
+* Writes append to an epoch-stamped in-memory log.  The handler only
+  queues; the task replicates (APPEND), collects log *fingerprints*
+  (CONFIRM), and acknowledges a write once a quorum of replicas holds
+  it — the paper's handler/task split (§4.4.5).
+* Commitment is fenced the Raft way: a CONFIRM reply claims the
+  replica's current epoch, and an epoch is granted away (VOTE) before
+  any rival can be promoted, so a deposed primary can never assemble a
+  quorum of current-epoch confirmations for an unreplicated write.
+  Commit only advances onto an entry of the primary's own epoch (each
+  promotion appends a no-op barrier entry to make that live).
+* Reads are linearizable via the read-index discipline: a GET parks at
+  arrival and is served from committed state only after a quorum
+  confirmation round that *started* after the read arrived.
+* A rebooted or deposed replica rejoins by anti-entropy: APPEND
+  carries a ``prev_epoch`` consistency check, conflicts truncate the
+  uncommitted suffix, and gaps walk the sender back — the log-matching
+  property keeps committed prefixes identical everywhere.
+
+At-most-once: every write carries a client token; a token lives in the
+log at most once (the dedup table is exactly the log's token index and
+is rebuilt by replay wherever the log goes), so client retries across
+failovers — including retries of MAYBE outcomes — are always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.buffers import Buffer
+from repro.core.client import ClientProgram
+from repro.core.errors import RequestStatus, SodaError
+from repro.core.signatures import ServerSignature
+from repro.replication.wire import (
+    ACK_FENCED,
+    ACK_GAP,
+    ACK_MISMATCH,
+    ACK_OK,
+    BATCH_ENTRIES,
+    ENTRY_BYTES,
+    KV_PATTERN,
+    MSG_APPEND,
+    MSG_CONFIRM,
+    MSG_FETCH,
+    MSG_TAKEOVER,
+    MSG_VOTE,
+    OP_CAS,
+    OP_GET,
+    OP_NOOP,
+    OP_NAMES,
+    REPL_PATTERN,
+    REPLY_CAS_FAIL,
+    Entry,
+    decode_entries,
+    encode_entries,
+    pack_ack,
+    pack_repl,
+    pack_result,
+    pack_status,
+    unpack_ack,
+    unpack_op,
+    unpack_repl,
+    unpack_status,
+)
+
+__all__ = ["KvReplica"]
+
+
+class KvReplica(ClientProgram):
+    """One replica of the primary-backup KV store.
+
+    ``peer_mids`` are the other replicas; ``quorum`` counts *replicas
+    including self* that must hold a write before it is acknowledged.
+    ``claim_primary`` runs the takeover protocol at boot (the seed
+    primary, and the self-promotion path after an amnesiac reboot —
+    the claim only succeeds against a vote quorum, so a stale image
+    can never split the brain).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        peer_mids: Tuple[int, ...],
+        quorum: int = 2,
+        claim_primary: bool = False,
+        repl_interval_us: float = 20_000.0,
+        write_deadline_us: float = 2_500_000.0,
+        read_deadline_us: float = 1_200_000.0,
+    ) -> None:
+        self.index = index
+        self.peer_mids = tuple(peer_mids)
+        self.quorum = quorum
+        self.claim_primary = claim_primary
+        self.repl_interval_us = repl_interval_us
+        self.write_deadline_us = write_deadline_us
+        self.read_deadline_us = read_deadline_us
+
+        self.epoch = 0
+        self.primary = False
+        self.log: List[Entry] = []
+        self.commit = 0
+        #: key -> (version, value token) of committed state.
+        self.values: Dict[int, Tuple[int, int]] = {}
+        #: token -> log index, over the whole log (committed or not).
+        self.dedup: Dict[int, int] = {}
+        #: log index -> (status, version, token), committed entries only.
+        self.results: Dict[int, Tuple[str, int, int]] = {}
+        #: peer -> fingerprint-verified replicated length.
+        self.matched: Dict[int, int] = {}
+        #: peer -> next log index to APPEND from.
+        self.next_index: Dict[int, int] = {}
+        #: parked writes: (asker, log index, token, arrival time).
+        self.waiters: List[Tuple[object, int, int, float]] = []
+        #: parked reads: (asker, key, arrival time).
+        self.pending_reads: List[Tuple[object, int, float]] = []
+        self._takeover_requested = False
+        self._quorum_confirmed_at = float("-inf")
+        self._round_in_progress = False
+
+    # -- program -------------------------------------------------------
+
+    def initialization(self, api, parent_mid):
+        yield from api.advertise(REPL_PATTERN)
+
+    def handler(self, api, event):
+        if not event.is_arrival:
+            return
+        if event.pattern == KV_PATTERN:
+            yield from self._handle_kv(api, event)
+        elif event.pattern == REPL_PATTERN:
+            yield from self._handle_repl(api, event)
+
+    def task(self, api):
+        if self.claim_primary:
+            yield from self._takeover(api)
+        while True:
+            if self._takeover_requested:
+                self._takeover_requested = False
+                if not self.primary:
+                    yield from self._takeover(api)
+            if self.primary:
+                yield from self._replicate_round(api)
+            yield from self._serve(api)
+            yield api.compute(self.repl_interval_us)
+
+    # -- client operations (KV_PATTERN) --------------------------------
+
+    def _handle_kv(self, api, event):
+        op, key, token, _expected = unpack_op(event.arg)
+        asker = event.asker
+        if op == OP_GET:
+            if not self.primary:
+                yield from self._reject(api, asker)
+            else:
+                self.pending_reads.append((asker, key, api.now))
+            return
+        if token in self.dedup:
+            # A retry of a write already in the log: at-most-once means
+            # we answer from the log, never append again.
+            idx = self.dedup[token]
+            if idx < self.commit:
+                yield from self._reply_result(api, asker, idx)
+            else:
+                self.waiters.append((asker, idx, token, api.now))
+            return
+        if not self.primary:
+            yield from self._reject(api, asker)
+            return
+        idx = len(self.log)
+        self.log.append(Entry(self.epoch, op, key, token, _expected))
+        self.dedup[token] = idx
+        self.waiters.append((asker, idx, token, api.now))
+
+    # -- replication traffic (REPL_PATTERN) ----------------------------
+
+    def _handle_repl(self, api, event):
+        header = unpack_repl(event.arg)
+        asker = event.asker
+        if header.msg == MSG_APPEND:
+            yield from self._handle_append(api, asker, header, event.put_size)
+        elif header.msg in (MSG_CONFIRM, MSG_VOTE):
+            granted = False
+            if header.msg == MSG_VOTE:
+                # A vote grant *fences*: adopting the epoch here is what
+                # stops a deposed primary from ever again assembling a
+                # current-epoch confirmation quorum.
+                if header.epoch > self.epoch:
+                    yield from self._adopt(api, header.epoch)
+                    granted = True
+            elif header.epoch >= self.epoch:
+                yield from self._adopt(api, header.epoch)
+                granted = not (self.primary and header.epoch == self.epoch)
+            last_epoch = self.log[-1].epoch if self.log else 0
+            yield from self._accept_arg(
+                api,
+                asker,
+                pack_status(granted, self.epoch, last_epoch, len(self.log)),
+            )
+        elif header.msg == MSG_FETCH:
+            start = header.from_index
+            entries = (
+                self.log[start : start + BATCH_ENTRIES]
+                if start <= len(self.log)
+                else []
+            )
+            try:
+                yield from api.accept_get(
+                    asker,
+                    arg=pack_ack(ACK_OK, len(self.log)),
+                    put=encode_entries(self.commit, entries),
+                )
+            except SodaError:
+                pass
+        elif header.msg == MSG_TAKEOVER:
+            self._takeover_requested = True
+            yield from self._accept_arg(api, asker, 0)
+
+    def _handle_append(self, api, asker, header, put_size):
+        if header.epoch < self.epoch:
+            yield from self._accept_arg(
+                api, asker, pack_ack(ACK_FENCED, self.epoch)
+            )
+            return
+        yield from self._adopt(api, header.epoch)
+        if header.from_index > len(self.log):
+            yield from self._accept_arg(
+                api, asker, pack_ack(ACK_GAP, len(self.log))
+            )
+            return
+        if (
+            header.from_index > 0
+            and self.log[header.from_index - 1].epoch != header.prev_epoch
+        ):
+            # Conflicting history at the join point: tell the sender to
+            # restart from our commit, below which logs always agree.
+            yield from self._accept_arg(
+                api, asker, pack_ack(ACK_MISMATCH, self.commit)
+            )
+            return
+        buf = Buffer(put_size)
+        try:
+            yield from api.accept_put(
+                asker, arg=pack_ack(ACK_OK, len(self.log)), get=buf
+            )
+        except SodaError:
+            return
+        # The transfer blocked; a vote or a higher-epoch APPEND may have
+        # fenced us meanwhile.  The ACK promised nothing about
+        # application — commitment rides on CONFIRM fingerprints — so
+        # dropping the batch here is always safe.
+        if header.epoch < self.epoch or header.from_index > len(self.log):
+            return
+        if (
+            header.from_index > 0
+            and self.log[header.from_index - 1].epoch != header.prev_epoch
+        ):
+            return
+        sender_commit, entries = decode_entries(buf.data)
+        if self._append_entries(api, header.from_index, entries):
+            self._advance_commit_to(api, min(sender_commit, len(self.log)))
+
+    # -- log machinery -------------------------------------------------
+
+    def _append_entries(self, api, from_index: int, entries: List[Entry]) -> bool:
+        """Graft ``entries`` at ``from_index``; truncate conflicts.
+
+        Same-(index, epoch) entries are unique (one writer per epoch),
+        so an epoch match means the entry is already present.
+        """
+        i = from_index
+        appended = 0
+        for entry in entries:
+            if i < len(self.log):
+                if self.log[i].epoch == entry.epoch:
+                    i += 1
+                    continue
+                if i < self.commit:
+                    self._trace(api, "kv.error", reason="truncate_below_commit",
+                                index=i, commit=self.commit)
+                    return False
+                self._truncate_to(api, i)
+            self.log.append(entry)
+            if entry.token:
+                self.dedup[entry.token] = i
+            appended += 1
+            i += 1
+        if appended:
+            self._trace(
+                api, "kv.sync",
+                from_index=from_index, appended=appended, length=len(self.log),
+            )
+        return True
+
+    def _truncate_to(self, api, index: int) -> None:
+        for entry in self.log[index:]:
+            if entry.token and self.dedup.get(entry.token, -1) >= index:
+                del self.dedup[entry.token]
+        del self.log[index:]
+
+    def _advance_commit_to(self, api, target: int) -> None:
+        while self.commit < target:
+            self._apply(api, self.commit)
+            self.commit += 1
+
+    def _apply(self, api, index: int) -> None:
+        entry = self.log[index]
+        applied = False
+        if entry.op == OP_NOOP:
+            status, version, token = "ok", 0, 0
+        elif entry.op == OP_CAS and (
+            self.values.get(entry.key, (0, 0))[1] != entry.expected
+        ):
+            version, token = self.values.get(entry.key, (0, 0))
+            status = "cas_fail"
+        else:
+            applied = True
+            version, token = index + 1, entry.token
+            self.values[entry.key] = (version, token)
+            status = "ok"
+        self.results[index] = (status, version, token)
+        self._trace(
+            api, "kv.apply",
+            index=index, epoch=entry.epoch, op=OP_NAMES[entry.op],
+            key=entry.key, token=entry.token, version=version,
+            applied=applied,
+        )
+
+    # -- primary duty: replicate, confirm, commit ----------------------
+
+    def _replicate_round(self, api):
+        round_start = api.now
+        epoch0 = self.epoch
+        sends = []
+        for mid in self.peer_mids:
+            from_i = min(self.next_index.get(mid, 0), len(self.log))
+            entries = self.log[from_i : from_i + BATCH_ENTRIES]
+            prev_epoch = self.log[from_i - 1].epoch if from_i > 0 else 0
+            tid = yield from api.request(
+                ServerSignature(mid, REPL_PATTERN),
+                arg=pack_repl(
+                    MSG_APPEND, self.epoch, prev_epoch, from_i, len(entries)
+                ),
+                put=encode_entries(self.commit, entries),
+            )
+            sends.append((mid, from_i, len(entries), tid, api.watch_completion(tid)))
+        for mid, from_i, count, tid, future in sends:
+            completion = yield from api.wait_completion(tid, future)
+            if self.epoch != epoch0 or not self.primary:
+                return
+            if (
+                completion.status is not RequestStatus.COMPLETED
+                or completion.arg < 0
+            ):
+                continue
+            code, value = unpack_ack(completion.arg)
+            if code == ACK_OK:
+                self.next_index[mid] = from_i + count
+            elif code in (ACK_GAP, ACK_MISMATCH):
+                self.next_index[mid] = min(value, len(self.log))
+            elif code == ACK_FENCED:
+                yield from self._adopt(api, value)
+                return
+        confirms = []
+        for mid in self.peer_mids:
+            tid = yield from api.request(
+                ServerSignature(mid, REPL_PATTERN),
+                arg=pack_repl(MSG_CONFIRM, self.epoch),
+            )
+            confirms.append((mid, tid, api.watch_completion(tid)))
+        granted = 0
+        for mid, tid, future in confirms:
+            completion = yield from api.wait_completion(tid, future)
+            if self.epoch != epoch0 or not self.primary:
+                return
+            if (
+                completion.status is not RequestStatus.COMPLETED
+                or completion.arg < 0
+            ):
+                continue
+            status = unpack_status(completion.arg)
+            if status.epoch > self.epoch:
+                yield from self._adopt(api, status.epoch)
+                return
+            if not status.granted or status.epoch != self.epoch:
+                continue
+            granted += 1
+            length = status.length
+            if length <= len(self.log) and (
+                length == 0 or self.log[length - 1].epoch == status.last_epoch
+            ):
+                self.matched[mid] = length
+                if self.next_index.get(mid, 0) < length:
+                    self.next_index[mid] = length
+            else:
+                # Fingerprint disagrees: walk the peer back to commit.
+                self.next_index[mid] = min(
+                    self.next_index.get(mid, length), self.commit
+                )
+        if granted >= self.quorum - 1:
+            self._quorum_confirmed_at = round_start
+            lengths = sorted(
+                [len(self.log)]
+                + [self.matched.get(mid, 0) for mid in self.peer_mids],
+                reverse=True,
+            )
+            candidate = lengths[self.quorum - 1]
+            if (
+                candidate > self.commit
+                and self.log[candidate - 1].epoch == self.epoch
+            ):
+                self._advance_commit_to(api, candidate)
+
+    # -- serving parked clients ----------------------------------------
+
+    def _serve(self, api):
+        now = api.now
+        keep = []
+        for waiter in self.waiters:
+            asker, idx, token, arrived = waiter
+            if idx < len(self.log) and self.log[idx].token != token:
+                yield from self._reject(api, asker)  # entry was truncated
+            elif idx < self.commit:
+                yield from self._reply_result(api, asker, idx)
+            elif (
+                not self.primary
+                or now - arrived > self.write_deadline_us
+                or idx >= len(self.log)
+            ):
+                yield from self._reject(api, asker)
+            else:
+                keep.append(waiter)
+        self.waiters = keep
+        keep = []
+        for read in self.pending_reads:
+            asker, key, arrived = read
+            if not self.primary or now - arrived > self.read_deadline_us:
+                yield from self._reject(api, asker)
+            elif self._quorum_confirmed_at >= arrived:
+                version, token = self.values.get(key, (0, 0))
+                yield from self._accept_arg(api, asker, pack_result(version, token))
+            else:
+                keep.append(read)
+        self.pending_reads = keep
+
+    def _reply_result(self, api, asker, index: int):
+        status, version, token = self.results[index]
+        arg = REPLY_CAS_FAIL if status == "cas_fail" else pack_result(version, token)
+        yield from self._accept_arg(api, asker, arg)
+
+    # -- takeover (vote, pull, claim) ----------------------------------
+
+    def _takeover(self, api, attempts: int = 8):
+        self._trace(api, "kv.takeover", epoch=self.epoch)
+        for attempt in range(attempts):
+            if self.primary:
+                return True
+            base = self.epoch
+            proposed = base + 1
+            votes = []
+            for mid in self.peer_mids:
+                tid = yield from api.request(
+                    ServerSignature(mid, REPL_PATTERN),
+                    arg=pack_repl(MSG_VOTE, proposed),
+                )
+                votes.append((mid, tid, api.watch_completion(tid)))
+            granters = []
+            seen_epoch = self.epoch
+            statuses = {}
+            for mid, tid, future in votes:
+                completion = yield from api.wait_completion(tid, future)
+                if (
+                    completion.status is not RequestStatus.COMPLETED
+                    or completion.arg < 0
+                ):
+                    continue
+                status = unpack_status(completion.arg)
+                statuses[mid] = status
+                seen_epoch = max(seen_epoch, status.epoch)
+                if status.granted and status.epoch == proposed:
+                    granters.append(mid)
+            if self.epoch != base:
+                continue  # granted a rival (or got fenced) mid-round
+            if len(granters) < self.quorum - 1:
+                if seen_epoch > self.epoch:
+                    self.epoch = seen_epoch
+                yield api.compute(
+                    50_000.0 * (attempt + 1) * (1.0 + 0.17 * self.index)
+                )
+                continue
+            self.epoch = proposed
+            own_last = self.log[-1].epoch if self.log else 0
+            best: Optional[int] = None
+            best_key = (own_last, len(self.log))
+            for mid in granters:
+                status = statuses[mid]
+                if (status.last_epoch, status.length) > best_key:
+                    best, best_key = mid, (status.last_epoch, status.length)
+            if best is not None:
+                pulled = yield from self._pull_log(api, best, best_key[1])
+                if not pulled or self.epoch != proposed:
+                    continue
+            self.primary = True
+            self.matched = {}
+            self.next_index = {mid: self.commit for mid in self.peer_mids}
+            self._quorum_confirmed_at = float("-inf")
+            # The barrier no-op: commit can only advance onto an entry
+            # of the current epoch, and this guarantees there is one.
+            self.log.append(Entry(self.epoch, OP_NOOP, 0, 0, 0))
+            self._trace(api, "kv.promote", epoch=self.epoch, length=len(self.log))
+            yield from api.advertise(KV_PATTERN)
+            return True
+        return False
+
+    def _pull_log(self, api, mid: int, target_length: int):
+        """Anti-entropy catch-up from a longer-logged granter."""
+        start = self.commit
+        epoch0 = self.epoch
+        while start < target_length:
+            buf = Buffer(ENTRY_BYTES * BATCH_ENTRIES + 8)
+            completion = yield from api.b_exchange(
+                ServerSignature(mid, REPL_PATTERN),
+                arg=pack_repl(MSG_FETCH, from_index=start),
+                get=buf,
+            )
+            if self.epoch != epoch0:
+                return False
+            if (
+                completion.status is not RequestStatus.COMPLETED
+                or completion.arg < 0
+            ):
+                return False
+            _code, peer_length = unpack_ack(completion.arg)
+            sender_commit, entries = decode_entries(buf.data)
+            if not entries:
+                return start >= peer_length
+            if not self._append_entries(api, start, entries):
+                return False
+            self._advance_commit_to(api, min(sender_commit, len(self.log)))
+            start += len(entries)
+            target_length = min(target_length, peer_length)
+        return True
+
+    # -- small helpers -------------------------------------------------
+
+    def _adopt(self, api, epoch: int):
+        """Adopt a (weakly) newer epoch; step down if we led an older one."""
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.matched = {}
+            if self.primary:
+                self.primary = False
+                self._trace(api, "kv.demote", epoch=epoch)
+                yield from api.unadvertise(KV_PATTERN)
+        return
+        yield  # pragma: no cover - keeps this a generator when epoch is old
+
+    def _accept_arg(self, api, asker, arg: int):
+        try:
+            yield from api.accept_signal(asker, arg=arg)
+        except SodaError:
+            pass
+
+    def _reject(self, api, asker):
+        try:
+            yield from api.reject(asker)
+        except SodaError:
+            pass
+
+    def _trace(self, api, category: str, **fields) -> None:
+        api.sim.trace.record(api.now, category, mid=api.my_mid, **fields)

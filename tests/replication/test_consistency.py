@@ -1,0 +1,134 @@
+"""The KV consistency checker must *fire* on each violation class.
+
+A checker that never fires is a green light that proves nothing; each
+test here forges a minimal trace exhibiting exactly one violation and
+asserts the verdict names it — plus clean-trace silence.
+"""
+
+from repro.replication.consistency import check_kv_consistency, kv_summary
+from repro.sim.tracing import TraceRecord
+
+
+def _apply(time, mid, index, epoch, op, key, token, applied=True):
+    return TraceRecord(
+        time, "kv.apply",
+        {
+            "mid": mid, "index": index, "epoch": epoch, "op": op,
+            "key": key, "token": token, "version": index + 1,
+            "applied": applied,
+        },
+    )
+
+
+def _result(time, mid, seq, op, key, status, version, token, wtoken,
+            invoked_at=None):
+    return TraceRecord(
+        time, "kv.result",
+        {
+            "mid": mid, "seq": seq, "op": op, "key": key,
+            "status": status, "version": version, "token": token,
+            "wtoken": wtoken,
+            "invoked_at": time if invoked_at is None else invoked_at,
+        },
+    )
+
+
+def _invoke(time, mid, seq, op, key, token):
+    return TraceRecord(
+        time, "kv.invoke",
+        {"mid": mid, "seq": seq, "op": op, "key": key, "token": token},
+    )
+
+
+def test_clean_trace_is_silent():
+    records = [
+        _invoke(0.0, 9, 0, "put", 1, 77),
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _apply(6.0, 1, 0, 1, "put", 1, 77),
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        _invoke(20.0, 9, 1, "get", 1, 0),
+        _result(25.0, 9, 1, "get", 1, "ok", 1, 77, 0, invoked_at=20.0),
+    ]
+    assert check_kv_consistency(records) == []
+    summary = kv_summary(records)
+    assert summary["ops_invoked"] == 2
+    assert summary["ops_definitive"] == 2
+    assert summary["availability"] == 1.0
+
+
+def test_divergent_commit_detected():
+    records = [
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _apply(6.0, 1, 0, 1, "put", 1, 88),  # different token, same slot
+    ]
+    problems = check_kv_consistency(records)
+    assert any("divergent commit" in p for p in problems)
+
+
+def test_lost_acknowledged_write_detected():
+    records = [
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        # no replica ever applied token 77
+    ]
+    problems = check_kv_consistency(records)
+    assert any("lost acknowledged write" in p for p in problems)
+
+
+def test_double_applied_write_detected():
+    records = [
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _apply(9.0, 0, 3, 2, "put", 1, 77),  # same token, second slot
+    ]
+    problems = check_kv_consistency(records)
+    assert any("at-most-once violation" in p for p in problems)
+
+
+def test_cas_acked_failed_but_applied_detected():
+    records = [
+        _apply(5.0, 0, 0, 1, "cas", 1, 77),
+        _result(10.0, 9, 0, "cas", 1, "cas_fail", 0, 0, 77),
+    ]
+    problems = check_kv_consistency(records)
+    assert any("CAS acked as failed but applied" in p for p in problems)
+
+
+def test_stale_read_detected():
+    records = [
+        _apply(4.0, 0, 0, 1, "put", 1, 70),
+        _apply(5.0, 0, 1, 1, "put", 1, 77),
+        _result(10.0, 9, 0, "put", 1, "ok", 2, 77, 77),
+        # GET invoked well after the version-2 ack, returns version 1.
+        _result(40.0, 9, 1, "get", 1, "ok", 1, 70, 0, invoked_at=30.0),
+    ]
+    problems = check_kv_consistency(records)
+    assert any("stale read" in p for p in problems)
+
+
+def test_read_concurrent_with_write_may_see_old_version():
+    records = [
+        _apply(4.0, 0, 0, 1, "put", 1, 70),
+        _apply(25.0, 0, 1, 1, "put", 1, 77),
+        _result(30.0, 9, 0, "put", 1, "ok", 2, 77, 77),
+        # GET invoked *before* the write was acked: either version is
+        # linearizable.
+        _result(35.0, 9, 1, "get", 1, "ok", 1, 70, 0, invoked_at=20.0),
+    ]
+    assert check_kv_consistency(records) == []
+
+
+def test_phantom_read_detected():
+    records = [
+        _apply(4.0, 0, 0, 1, "put", 1, 70),
+        # GET returns a (version, token) no replica ever committed.
+        _result(40.0, 9, 1, "get", 1, "ok", 1, 99, 0, invoked_at=30.0),
+    ]
+    problems = check_kv_consistency(records)
+    assert any("phantom read" in p for p in problems)
+
+
+def test_summary_counts_promotions():
+    records = [
+        TraceRecord(1.0, "kv.promote", {"mid": 0, "epoch": 1}),
+        TraceRecord(9.0, "kv.promote", {"mid": 1, "epoch": 2}),
+    ]
+    assert kv_summary(records)["promotions"] == 2

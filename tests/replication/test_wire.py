@@ -1,0 +1,138 @@
+"""Round-trip properties for the replication wire formats.
+
+Every packed word must fit the positive half of the signed 64-bit wire
+argument (the transport packs args ``!q``), and every field must
+survive pack → unpack bit-exactly across its full range.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.replication.wire import (
+    ACK_FENCED,
+    ACK_GAP,
+    ACK_MISMATCH,
+    ACK_OK,
+    BATCH_ENTRIES,
+    ENTRY_BYTES,
+    OP_CAS,
+    OP_GET,
+    OP_NOOP,
+    OP_PUT,
+    Entry,
+    decode_entries,
+    encode_entries,
+    make_token,
+    pack_ack,
+    pack_op,
+    pack_repl,
+    pack_result,
+    pack_status,
+    token_mid,
+    token_seq,
+    unpack_ack,
+    unpack_op,
+    unpack_repl,
+    unpack_result,
+    unpack_status,
+)
+
+ops = st.sampled_from([OP_NOOP, OP_GET, OP_PUT, OP_CAS])
+keys = st.integers(min_value=0, max_value=15)
+tokens = st.integers(min_value=0, max_value=(1 << 28) - 1)
+epochs = st.integers(min_value=0, max_value=(1 << 14) - 1)
+indexes = st.integers(min_value=0, max_value=(1 << 24) - 1)
+
+
+@given(mid=st.integers(0, 255), seq=st.integers(0, (1 << 20) - 1))
+def test_token_roundtrip(mid, seq):
+    token = make_token(mid, seq)
+    assert token_mid(token) == mid
+    assert token_seq(token) == seq
+    assert 0 <= token < (1 << 28)
+
+
+@given(op=ops, key=keys, token=tokens, expected=tokens)
+def test_op_roundtrip_fits_wire(op, key, token, expected):
+    word = pack_op(op, key, token, expected)
+    assert 0 <= word < (1 << 63)
+    assert unpack_op(word) == (op, key, token, expected)
+
+
+@given(version=indexes, token=tokens)
+def test_result_roundtrip(version, token):
+    word = pack_result(version, token)
+    assert 0 <= word < (1 << 63)
+    assert unpack_result(word) == (version, token)
+
+
+@given(
+    msg=st.integers(1, 5),
+    epoch=epochs,
+    prev_epoch=epochs,
+    from_index=indexes,
+    count=st.integers(0, 255),
+)
+def test_repl_header_roundtrip(msg, epoch, prev_epoch, from_index, count):
+    word = pack_repl(msg, epoch, prev_epoch, from_index, count)
+    assert 0 <= word < (1 << 63)
+    header = unpack_repl(word)
+    assert (
+        header.msg, header.epoch, header.prev_epoch,
+        header.from_index, header.count,
+    ) == (msg, epoch, prev_epoch, from_index, count)
+
+
+@given(
+    code=st.sampled_from([ACK_OK, ACK_GAP, ACK_FENCED, ACK_MISMATCH]),
+    value=st.integers(0, (1 << 32) - 1),
+)
+def test_ack_roundtrip(code, value):
+    word = pack_ack(code, value)
+    assert 0 <= word < (1 << 63)
+    assert unpack_ack(word) == (code, value)
+
+
+@given(
+    granted=st.booleans(),
+    epoch=epochs,
+    last_epoch=epochs,
+    length=indexes,
+)
+def test_status_roundtrip(granted, epoch, last_epoch, length):
+    word = pack_status(granted, epoch, last_epoch, length)
+    assert 0 <= word < (1 << 63)
+    status = unpack_status(word)
+    assert status.granted == granted
+    assert status.epoch == epoch
+    assert status.last_epoch == last_epoch
+    assert status.length == length
+
+
+entries = st.lists(
+    st.builds(
+        Entry,
+        epoch=epochs,
+        op=ops,
+        key=keys,
+        token=tokens,
+        expected=tokens,
+    ),
+    max_size=BATCH_ENTRIES,
+)
+
+
+@given(commit=indexes, batch=entries)
+def test_entry_batch_roundtrip(commit, batch):
+    data = encode_entries(commit, batch)
+    assert len(data) == 4 + ENTRY_BYTES * len(batch)
+    got_commit, got = decode_entries(data)
+    assert got_commit == commit
+    assert tuple(got) == tuple(batch)
+
+
+def test_decode_tolerates_truncated_tail():
+    data = encode_entries(3, [Entry(1, OP_PUT, 2, 9, 0)])
+    commit, got = decode_entries(data[:-5])
+    assert commit == 3
+    assert list(got) == []

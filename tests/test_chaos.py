@@ -39,13 +39,22 @@ GATE_CELLS = [
     ("supervised", "crash_idle"),
     ("supervised", "crash_load"),
     ("supervised", "flap"),
+    ("kvstore", "duplicate"),
+    ("kvstore", "reorder"),
+    ("kvstore_supervised", "primary_crash_load"),
+    ("kvstore_supervised", "backup_flap"),
+    ("kvstore_supervised", "partition_heal"),
 ]
 
 
 @pytest.mark.parametrize("workload,schedule", GATE_CELLS)
 def test_gate_cell_is_clean(workload, schedule):
     result = run_cell(workload, schedule, seed=1)
-    failures = result.invariant_violations + result.liveness_problems
+    failures = (
+        result.invariant_violations
+        + result.liveness_problems
+        + result.consistency_problems
+    )
     assert result.ok, "\n".join(failures)
 
 
@@ -56,6 +65,10 @@ def test_gate_cells_inject_real_faults():
     assert lossy.faults["frames_lost"] + lossy.faults["frames_corrupted"] > 0
     strike = run_cell("cancel", "strike", seed=1)
     assert strike.faults["frames_scripted_drops"] > 0
+    dup = run_cell("kvstore", "duplicate", seed=1)
+    assert dup.faults["deliveries_duplicated"] > 0
+    reorder = run_cell("kvstore", "reorder", seed=1)
+    assert reorder.faults["deliveries_reordered"] > 0
 
 
 def test_client_flap_produces_crashed_or_cancelled_spans():
