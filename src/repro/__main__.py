@@ -1,58 +1,18 @@
 """Command-line entry point: quick demos, tables, and analysis tools.
 
-    python -m repro quickstart        # two-node echo session
-    python -m repro tables [--quick]  # the paper's performance tables
-    python -m repro breakdown         # overhead-breakdown table
-    python -m repro comparison        # SODA vs *MOD
-    python -m repro deltat            # Delta-t figure scenarios
-    python -m repro metrics [workload]  # observability report (repro.obs)
-    python -m repro lint [paths...]   # sodalint protocol linter
-    python -m repro check-trace [--streaming] [workload...]
-                                      # trace invariant checker (batch,
-                                      # or live incremental with
-                                      # --streaming)
-    python -m repro causal [workload...]  # vector-clock happens-before,
-                                      # race + deadlock detection
-                                      # (SODA010-SODA013)
-    python -m repro causal-bench      # batch vs streaming checker cost
-    python -m repro chaos [--matrix] [--seed N] [--workload W[,W...]]
-                          [--schedule S[,S...]] [--no-shrink] [--causal]
-                          [--parallel N]
-                                      # fault-schedule sweep (repro.chaos);
-                                      # --parallel farms cells out to N
-                                      # worker processes (byte-identical
-                                      # output, docs/SIM.md)
-    python -m repro transport-bench [--seed N] [--parallel N]
-                                      # adaptive-vs-static comparison
-                                      # under sustained_loss (ISSUE 5)
-    python -m repro sim-bench [--repeats R] [--scale F]
-                                      # raw engine events/sec benchmark
-                                      # (BENCH_sim.json; docs/SIM.md)
-    python -m repro kv-bench [--seed N]
-                                      # replicated-KV availability and
-                                      # failover-time benchmark
-                                      # (BENCH_kv.json; docs/REPLICATION.md)
-    python -m repro recover --demo    # crash → detect → reboot → retry
-                                      # walkthrough (repro.recovery)
-    python -m repro real <workload> [--seed N] [--policy P] [--loss F]
-                          [--keep-traces DIR]
-                                      # run over real UDP sockets, one OS
-                                      # process per node (repro.netreal)
-    python -m repro real-bench [--seed N]
-                                      # sim-vs-real policy comparison
-                                      # under injected loss
+Run ``python -m repro --help`` for the command list — it is generated
+from the ``COMMANDS`` registry at the bottom of this module, so the
+help text cannot drift from what actually dispatches.
 
-The benchmark and analysis commands (tables, breakdown, comparison,
-deltat, metrics, lint, check-trace, causal, causal-bench) accept
-``--json PATH`` to also write a machine-readable ``BENCH_*.json``-style
-snapshot; ``metrics`` additionally accepts ``--jsonl PATH`` for
-one-metric-per-line output.
+Most commands accept ``--json PATH`` to also write a machine-readable
+``BENCH_*.json``-style snapshot; ``metrics`` additionally accepts
+``--jsonl PATH`` for one-metric-per-line output.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 
 def _take_flag_value(argv: List[str], flag: str) -> Optional[str]:
@@ -529,6 +489,75 @@ def _kv_bench(argv: List[str], json_path: Optional[str] = None) -> int:
     return 0 if healthy else 1
 
 
+def _durability_bench(
+    argv: List[str], json_path: Optional[str] = None
+) -> int:
+    """``durability-bench``: WAL replay / snapshot / fsync tradeoffs."""
+    from repro.bench.tables import format_table
+    from repro.durability.bench import run_durability_bench
+
+    body = run_durability_bench()
+
+    print(
+        format_table(
+            ["log entries", "replay us", "wal records"],
+            [
+                (
+                    row["log_entries"],
+                    row["replay_disk_us"],
+                    row["wal_records_replayed"],
+                )
+                for row in body["replay"]
+            ],
+            title="Recovery replay cost vs log length",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["interval", "snapshots", "runtime us", "replay us"],
+            [
+                (
+                    row["snapshot_interval"],
+                    row["snapshots_taken"],
+                    row["runtime_disk_us"],
+                    row["replay_disk_us"],
+                )
+                for row in body["snapshot_intervals"]
+            ],
+            title="Snapshot cadence: runtime cost vs replay saved",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["policy", "fsyncs", "runtime us"],
+            [
+                (row["fsync_policy"], row["fsyncs"], row["runtime_disk_us"])
+                for row in body["fsync_policies"]
+            ],
+            title="Fsync policy cost (1000 records)",
+        )
+    )
+
+    replay_times = [row["replay_disk_us"] for row in body["replay"]]
+    policies = {
+        row["fsync_policy"]: row for row in body["fsync_policies"]
+    }
+    sane = (
+        replay_times == sorted(replay_times)
+        and policies["always"]["runtime_disk_us"]
+        > policies["batch"]["runtime_disk_us"]
+        >= policies["never"]["runtime_disk_us"]
+    )
+    print()
+    print(f"replay cost grows with log length: {replay_times == sorted(replay_times)}")
+    print(f"fsync always > batch >= never: {sane}")
+    if json_path:
+        _write_payload(json_path, "durability_bench", body)
+    return 0 if sane else 1
+
+
 def _recover(argv: List[str], json_path: Optional[str] = None) -> int:
     """``recover --demo``: one scripted crash/reboot/retry walkthrough."""
     from repro.analysis.workloads import build_workload
@@ -621,6 +650,8 @@ def _real(argv: List[str], json_path: Optional[str] = None) -> int:
     policy = _take_flag_value(argv, "--policy") or "adaptive"
     loss_text = _take_flag_value(argv, "--loss")
     keep_traces = _take_flag_value(argv, "--keep-traces")
+    durable = _take_flag_value(argv, "--durable")
+    power_loss_text = _take_flag_value(argv, "--power-loss-at")
     workload = argv[0] if argv else "pingpong"
     try:
         result = run_real(
@@ -629,6 +660,10 @@ def _real(argv: List[str], json_path: Optional[str] = None) -> int:
             policy=policy,
             loss=float(loss_text) if loss_text else 0.0,
             keep_traces=keep_traces,
+            durable=durable,
+            power_loss_at_us=(
+                float(power_loss_text) if power_loss_text else None
+            ),
         )
     except KeyError as exc:
         print(exc.args[0])
@@ -733,61 +768,185 @@ def _real_bench(argv: List[str], json_path: Optional[str] = None) -> int:
     return 0 if wins else 1
 
 
+def _lint(argv: List[str], json_path: Optional[str] = None) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(argv, json_path=json_path)
+
+
+def _check_trace(argv: List[str], json_path: Optional[str] = None) -> int:
+    from repro.analysis.cli import run_check_trace
+
+    return run_check_trace(argv, json_path=json_path)
+
+
+def _causal(argv: List[str], json_path: Optional[str] = None) -> int:
+    from repro.analysis.cli import run_causal
+
+    return run_causal(argv, json_path=json_path)
+
+
+def _causal_bench(argv: List[str], json_path: Optional[str] = None) -> int:
+    from repro.analysis.cli import run_causal_bench_cli
+
+    return run_causal_bench_cli(argv, json_path=json_path)
+
+
+def _real_node(argv: List[str]) -> int:
+    from repro.netreal.runner import run_real_node
+
+    return run_real_node(argv)
+
+
+# ---------------------------------------------------------------------------
+# Command registry: every subcommand lives here, and ``--help`` renders
+# from here — adding a command without help text is impossible.
+
+
+class Command(NamedTuple):
+    run: Callable[[List[str], Optional[str], Optional[str]], object]
+    usage: str
+    description: str
+
+
+COMMANDS: Dict[str, Command] = {
+    "quickstart": Command(
+        lambda argv, j, jl: _quickstart(),
+        "quickstart",
+        "two-node echo session",
+    ),
+    "tables": Command(
+        lambda argv, j, jl: _tables(quick="--quick" in argv, json_path=j),
+        "tables [--quick]",
+        "the paper's performance tables",
+    ),
+    "breakdown": Command(
+        lambda argv, j, jl: _breakdown(json_path=j),
+        "breakdown",
+        "overhead-breakdown table",
+    ),
+    "comparison": Command(
+        lambda argv, j, jl: _comparison(json_path=j),
+        "comparison",
+        "SODA vs *MOD",
+    ),
+    "deltat": Command(
+        lambda argv, j, jl: _deltat(json_path=j),
+        "deltat",
+        "Delta-t figure scenarios",
+    ),
+    "metrics": Command(
+        lambda argv, j, jl: _metrics(argv, json_path=j, jsonl_path=jl),
+        "metrics [workload] [--jsonl PATH]",
+        "observability report (repro.obs)",
+    ),
+    "lint": Command(
+        lambda argv, j, jl: _lint(argv, json_path=j),
+        "lint [paths...]",
+        "sodalint protocol linter",
+    ),
+    "check-trace": Command(
+        lambda argv, j, jl: _check_trace(argv, json_path=j),
+        "check-trace [--streaming] [workload...]",
+        "trace invariant checker (batch, or live incremental with "
+        "--streaming)",
+    ),
+    "causal": Command(
+        lambda argv, j, jl: _causal(argv, json_path=j),
+        "causal [workload...]",
+        "vector-clock happens-before, race + deadlock detection "
+        "(SODA010-SODA013)",
+    ),
+    "causal-bench": Command(
+        lambda argv, j, jl: _causal_bench(argv, json_path=j),
+        "causal-bench",
+        "batch vs streaming checker cost",
+    ),
+    "chaos": Command(
+        lambda argv, j, jl: _chaos(argv, json_path=j),
+        "chaos [--matrix] [--seed N] [--workload W[,W...]] "
+        "[--schedule S[,S...]] [--no-shrink] [--causal] [--parallel N]",
+        "fault-schedule sweep (repro.chaos); --parallel farms cells "
+        "out to N worker processes (byte-identical output, docs/SIM.md)",
+    ),
+    "transport-bench": Command(
+        lambda argv, j, jl: _transport_bench(argv, json_path=j),
+        "transport-bench [--seed N] [--parallel N]",
+        "adaptive-vs-static comparison under sustained_loss (ISSUE 5)",
+    ),
+    "sim-bench": Command(
+        lambda argv, j, jl: _sim_bench(argv, json_path=j),
+        "sim-bench [--repeats R] [--scale F]",
+        "raw engine events/sec benchmark (BENCH_sim.json; docs/SIM.md)",
+    ),
+    "kv-bench": Command(
+        lambda argv, j, jl: _kv_bench(argv, json_path=j),
+        "kv-bench [--seed N]",
+        "replicated-KV availability and failover-time benchmark "
+        "(BENCH_kv.json; docs/REPLICATION.md)",
+    ),
+    "durability-bench": Command(
+        lambda argv, j, jl: _durability_bench(argv, json_path=j),
+        "durability-bench",
+        "WAL replay, snapshot-interval, and fsync-policy costs "
+        "(BENCH_durability.json; docs/DURABILITY.md)",
+    ),
+    "recover": Command(
+        lambda argv, j, jl: _recover(argv, json_path=j),
+        "recover --demo",
+        "crash -> detect -> reboot -> retry walkthrough (repro.recovery)",
+    ),
+    "real": Command(
+        lambda argv, j, jl: _real(argv, json_path=j),
+        "real <workload> [--seed N] [--policy P] [--loss F] "
+        "[--durable DIR] [--power-loss-at US] [--keep-traces DIR]",
+        "run over real UDP sockets, one OS process per node "
+        "(repro.netreal)",
+    ),
+    "real-node": Command(
+        lambda argv, j, jl: _real_node(argv),
+        "real-node (internal)",
+        "child-process entry for `real`: one node over one socket",
+    ),
+    "real-bench": Command(
+        lambda argv, j, jl: _real_bench(argv, json_path=j),
+        "real-bench [--seed N]",
+        "sim-vs-real policy comparison under injected loss",
+    ),
+}
+
+
+def _render_help() -> str:
+    lines = [
+        "usage: python -m repro <command> [--json PATH] [args...]",
+        "",
+        "commands:",
+    ]
+    for name, command in COMMANDS.items():
+        lines.append(f"  python -m repro {command.usage}")
+        lines.append(f"      {command.description}")
+    lines.append("")
+    lines.append(
+        "Most commands accept --json PATH to also write a "
+        "machine-readable BENCH_*.json-style snapshot."
+    )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     json_path = _take_flag_value(argv, "--json")
     jsonl_path = _take_flag_value(argv, "--jsonl")
     command = argv[0] if argv else "quickstart"
-    if command == "quickstart":
-        _quickstart()
-    elif command == "tables":
-        _tables(quick="--quick" in argv, json_path=json_path)
-    elif command == "breakdown":
-        _breakdown(json_path=json_path)
-    elif command == "comparison":
-        _comparison(json_path=json_path)
-    elif command == "deltat":
-        _deltat(json_path=json_path)
-    elif command == "metrics":
-        return _metrics(argv[1:], json_path=json_path, jsonl_path=jsonl_path)
-    elif command == "chaos":
-        return _chaos(argv[1:], json_path=json_path)
-    elif command == "transport-bench":
-        return _transport_bench(argv[1:], json_path=json_path)
-    elif command == "sim-bench":
-        return _sim_bench(argv[1:], json_path=json_path)
-    elif command == "kv-bench":
-        return _kv_bench(argv[1:], json_path=json_path)
-    elif command == "recover":
-        return _recover(argv[1:], json_path=json_path)
-    elif command == "real":
-        return _real(argv[1:], json_path=json_path)
-    elif command == "real-node":
-        from repro.netreal.runner import run_real_node
-
-        return run_real_node(argv[1:])
-    elif command == "real-bench":
-        return _real_bench(argv[1:], json_path=json_path)
-    elif command == "lint":
-        from repro.analysis.cli import run_lint
-
-        return run_lint(argv[1:], json_path=json_path)
-    elif command == "check-trace":
-        from repro.analysis.cli import run_check_trace
-
-        return run_check_trace(argv[1:], json_path=json_path)
-    elif command == "causal":
-        from repro.analysis.cli import run_causal
-
-        return run_causal(argv[1:], json_path=json_path)
-    elif command == "causal-bench":
-        from repro.analysis.cli import run_causal_bench_cli
-
-        return run_causal_bench_cli(argv[1:], json_path=json_path)
-    else:
-        print(__doc__)
-        return 1 if command not in ("-h", "--help", "help") else 0
-    return 0
+    if command in ("-h", "--help", "help"):
+        print(_render_help())
+        return 0
+    spec = COMMANDS.get(command)
+    if spec is None:
+        print(_render_help())
+        return 1
+    result = spec.run(argv[1:], json_path, jsonl_path)
+    return 0 if result is None else int(result)  # type: ignore[call-overload]
 
 
 if __name__ == "__main__":

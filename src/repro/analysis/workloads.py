@@ -34,6 +34,7 @@ from repro.core.client import ClientProgram
 from repro.core.config import KernelConfig
 from repro.core.node import Network
 from repro.core.patterns import make_well_known_pattern
+from repro.durability.disk import DiskFaultPlan, FaultDisk, SimDisk
 from repro.net.errors import FaultPlan
 from repro.recovery.retry import RetryPolicy, retry_request
 from repro.recovery.supervisor import SupervisedService, SupervisorProgram
@@ -190,14 +191,34 @@ def _kv_replica(index: int, claim_primary: bool = False) -> KvReplica:
     )
 
 
+def _kv_disk(index: int):
+    """A replica's disk: simulated media behind an (initially quiet)
+    fault plan, so chaos ``DiskFault`` actions have a dial to turn."""
+    return FaultDisk(SimDisk(), DiskFaultPlan(seed=100 + index))
+
+
 def _kv_roles() -> Tuple["WorkloadRole", ...]:
     return (
         # replica0 claims the first epoch through the vote protocol; a
         # chaos Reboot of this role re-runs the claim, which is exactly
         # the stale-primary-resurfacing case epoch fencing must fence.
-        WorkloadRole("replica0", lambda: _kv_replica(0, claim_primary=True)),
-        WorkloadRole("replica1", lambda: _kv_replica(1), boot_at_us=20.0),
-        WorkloadRole("replica2", lambda: _kv_replica(2), boot_at_us=40.0),
+        WorkloadRole(
+            "replica0",
+            lambda: _kv_replica(0, claim_primary=True),
+            disk_factory=lambda: _kv_disk(0),
+        ),
+        WorkloadRole(
+            "replica1",
+            lambda: _kv_replica(1),
+            boot_at_us=20.0,
+            disk_factory=lambda: _kv_disk(1),
+        ),
+        WorkloadRole(
+            "replica2",
+            lambda: _kv_replica(2),
+            boot_at_us=40.0,
+            disk_factory=lambda: _kv_disk(2),
+        ),
     )
 
 
@@ -231,6 +252,9 @@ class WorkloadRole:
     name: str
     factory: Callable[[], ClientProgram]
     boot_at_us: float = 0.0
+    #: Builds this node's durable disk (fresh per build — disks must
+    #: never leak across chaos cells).  None = diskless (SODA default).
+    disk_factory: Optional[Callable[[], object]] = None
 
 
 @dataclass(frozen=True)
@@ -432,6 +456,7 @@ def build_workload(
     config: Optional[KernelConfig] = None,
     max_trace_records: Optional[int] = None,
     keep_trace: bool = True,
+    durable: bool = True,
 ) -> BuiltWorkload:
     """Construct a workload network without running it.
 
@@ -439,7 +464,9 @@ def build_workload(
     chaos harness can sweep seeds and overlay fault plans;
     ``keep_trace=False`` runs the tracer in counters-only fast mode
     (no record retention — the engine benchmark uses it to price
-    tracing itself).
+    tracing itself).  ``durable=False`` builds disk-bearing roles
+    diskless — the pre-durability amnesia behaviour, kept reachable so
+    tests can demonstrate exactly what the WAL buys.
     """
     spec = get_spec(name)
     net = Network(
@@ -450,11 +477,17 @@ def build_workload(
         keep_trace=keep_trace,
     )
     for role in spec.roles:
-        net.add_node(
+        node = net.add_node(
             program=role.factory(),
             name=role.name,
             boot_at_us=role.boot_at_us,
         )
+        if durable and role.disk_factory is not None:
+            disk = role.disk_factory()
+            media = getattr(disk, "inner", disk)
+            if isinstance(media, SimDisk):
+                media.ledger = net.ledger
+            node.disk = disk
     return BuiltWorkload(spec=spec, net=net)
 
 

@@ -4,7 +4,9 @@ Runs the ``kvstore_supervised`` workload under a few chaos schedules —
 the fault-free control, the headline ``primary_crash_load`` (power-fail
 the primary under client load, no scripted reboot: the supervisor must
 fail over), and ``partition_heal`` (promote *during* a partition, fence
-the stale primary at heal) — and reports, per schedule:
+the stale primary at heal), plus ``cluster_restart`` (every replica
+loses power at once and must recover its log from disk) — and reports,
+per schedule:
 
 * **availability** — definitively-answered ops / invoked ops;
 * **failover time** — primary crash (or isolation) to the next
@@ -31,7 +33,12 @@ from repro.replication.consistency import check_kv_consistency, kv_summary
 __all__ = ["run_kv_bench", "KV_BENCH_SCHEDULES"]
 
 #: The schedules the bench sweeps, in report order.
-KV_BENCH_SCHEDULES = ("calm", "primary_crash_load", "partition_heal")
+KV_BENCH_SCHEDULES = (
+    "calm",
+    "primary_crash_load",
+    "partition_heal",
+    "cluster_restart",
+)
 
 WORKLOAD = "kvstore_supervised"
 
@@ -103,7 +110,9 @@ def run_kv_bench(seed: int = 1) -> Dict[str, object]:
             "promotions": summary["promotions"],
             "failover": failover,
             "acknowledged_write_loss": sum(
-                1 for p in problems if p.startswith("lost acknowledged")
+                1 for p in problems
+                if p.startswith("lost acknowledged")
+                or p.startswith("acknowledged write lost")
             ),
             "consistency_problems": problems,
         }

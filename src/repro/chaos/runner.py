@@ -27,10 +27,12 @@ from repro.analysis.workloads import WORKLOADS, WorkloadSpec, build_workload
 from repro.chaos.scenario import (
     GRACE_US,
     ClientDie,
+    DiskFault,
     DuplicateWindow,
     LossWindow,
     NodeCrash,
     Partition,
+    PowerLoss,
     Reboot,
     ReorderWindow,
     Scenario,
@@ -57,6 +59,16 @@ def _server_role(spec: WorkloadSpec) -> str:
 
 def _client_role(spec: WorkloadSpec) -> str:
     return spec.roles[-1].name
+
+
+def _disk_roles(spec: WorkloadSpec) -> Tuple[str, ...]:
+    """The roles the durability schedules target: every disk-bearing
+    role (the KV replicas), or the server role on diskless workloads —
+    where a power loss degenerates to crash + reboot."""
+    roles = tuple(
+        role.name for role in spec.roles if role.disk_factory is not None
+    )
+    return roles or (_server_role(spec),)
 
 
 def _lossy(spec: WorkloadSpec) -> Scenario:
@@ -258,6 +270,69 @@ def _flap(spec: WorkloadSpec) -> Scenario:
     )
 
 
+def _cluster_restart(spec: WorkloadSpec) -> Scenario:
+    # The durability headline: power-fail EVERY disk-bearing role at
+    # the same instant under load, then reboot them all.  No surviving
+    # peer holds the state, so anti-entropy cannot repair anyone —
+    # acknowledged writes come back only from local WAL + snapshots.
+    return Scenario(
+        "cluster_restart",
+        (
+            PowerLoss(
+                900_000.0, roles=_disk_roles(spec),
+                reboot_delay_us=500_000.0,
+            ),
+        ),
+    )
+
+
+def _cluster_power_loss(spec: WorkloadSpec) -> Scenario:
+    # cluster_restart with the disks set to tear: each node's in-flight
+    # unsynced write survives only as a prefix (ALICE-style torn
+    # write), so every recovery must walk a damaged WAL tail.
+    roles = _disk_roles(spec)
+    torn = tuple(
+        DiskFault(0.0, role=role, kind="torn_write") for role in roles
+    )
+    return Scenario(
+        "cluster_power_loss",
+        torn
+        + (PowerLoss(900_000.0, roles=roles, reboot_delay_us=500_000.0),),
+    )
+
+
+def _torn_write_primary(spec: WorkloadSpec) -> Scenario:
+    # Tear only the initial primary's disk, then power-fail it alone
+    # mid-load: the cluster fails over while the old primary recovers
+    # from a torn WAL and rejoins as a fenced backup.
+    role = _disk_roles(spec)[0]
+    return Scenario(
+        "torn_write_primary",
+        (
+            DiskFault(0.0, role=role, kind="torn_write"),
+            PowerLoss(700_000.0, roles=(role,), reboot_delay_us=500_000.0),
+        ),
+    )
+
+
+def _bitrot_backup(spec: WorkloadSpec) -> Scenario:
+    # Flip bits in a backup's *durable* WAL, then power-cycle it: the
+    # CRC framing must detect the rot (truncating replay at the damage,
+    # never deserializing garbage) and anti-entropy must repair the
+    # re-joined replica from its peers.
+    roles = _disk_roles(spec)
+    role = roles[1] if len(roles) >= 2 else roles[0]
+    return Scenario(
+        "bitrot_backup",
+        (
+            DiskFault(1_000_000.0, role=role, kind="bitrot", count=4),
+            PowerLoss(
+                1_050_000.0, roles=(role,), reboot_delay_us=400_000.0
+            ),
+        ),
+    )
+
+
 #: Named schedule factories; each adapts to the workload's role names.
 SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "lossy": _lossy,
@@ -277,6 +352,10 @@ SCHEDULES: Dict[str, Callable[[WorkloadSpec], Scenario]] = {
     "primary_crash_load": _primary_crash_load,
     "backup_flap": _backup_flap,
     "partition_heal": _partition_heal,
+    "cluster_restart": _cluster_restart,
+    "cluster_power_loss": _cluster_power_loss,
+    "torn_write_primary": _torn_write_primary,
+    "bitrot_backup": _bitrot_backup,
 }
 
 #: The recovery schedules judged by the self-heal check (plus every
@@ -317,6 +396,10 @@ DEGRADATION_BOUNDS: Dict[str, DegradationBounds] = {
     "primary_crash_load": DegradationBounds(goodput_floor=0.0),
     "backup_flap": DegradationBounds(goodput_floor=0.0),
     "partition_heal": DegradationBounds(goodput_floor=0.0),
+    "cluster_restart": DegradationBounds(goodput_floor=0.0),
+    "cluster_power_loss": DegradationBounds(goodput_floor=0.0),
+    "torn_write_primary": DegradationBounds(goodput_floor=0.0),
+    "bitrot_backup": DegradationBounds(goodput_floor=0.0),
 }
 
 #: Bounds applied to ad-hoc scenarios (shrinker reproducers).
@@ -456,6 +539,15 @@ def run_cell(
     for span in spans:
         by_status[span.status] = by_status.get(span.status, 0) + 1
     faults = net.faults
+    disk_faults: Dict[str, int] = {}
+    for node in net.nodes.values():
+        plan = getattr(getattr(node, "disk", None), "plan", None)
+        if plan is None:
+            continue
+        for key, value in plan.counter_snapshot().items():
+            disk_faults[f"disk_{key}"] = (
+                disk_faults.get(f"disk_{key}", 0) + value
+            )
     return CellResult(
         workload=workload,
         schedule=schedule,
@@ -479,6 +571,7 @@ def run_cell(
             ),
             "deliveries_duplicated": faults.deliveries_duplicated,
             "deliveries_reordered": faults.deliveries_reordered,
+            **disk_faults,
         },
         frames_sent=net.bus.frames_sent,
     )

@@ -293,6 +293,102 @@ class ThunderingHerd:
             )
 
 
+@dataclass(frozen=True)
+class PowerLoss:
+    """Power-fail several roles *at once*, then reboot them.
+
+    The simultaneous cut is the point: with every replica of a cluster
+    down at the same instant, no surviving peer holds the state, so
+    anti-entropy cannot repair an amnesiac reboot — only durable local
+    state (repro.durability) brings acknowledged writes back.  The
+    crash goes through :meth:`SodaNode.crash`, so each node's disk
+    takes the power hit too (unsynced writes lost, possibly torn).
+    """
+
+    at_us: float
+    roles: Tuple[str, ...]
+    reboot_delay_us: float = 500_000.0
+
+    @property
+    def end_us(self) -> float:
+        # Scenario.last_action_us keys off this: the run must extend
+        # past the reboots, not just the cut.
+        return self.at_us + self.reboot_delay_us
+
+    def apply(self, built: BuiltWorkload) -> None:
+        for role_name in self.roles:
+            mid = built.mid_of(role_name)
+            node = built.net.nodes[mid]
+            role = built.role_for(mid)
+
+            def cut(node: SodaNode = node) -> None:
+                if node.kernel.offline_until is None:
+                    node.crash()
+
+            def reboot(node: SodaNode = node, role=role) -> None:
+                if _client_alive(node):
+                    return
+                boot_at = built.net.sim.now
+                if node.kernel.offline_until is not None:
+                    boot_at = node.kernel.offline_until
+                node.install_program(role.factory(), boot_at_us=boot_at)
+
+            built.net.sim.at(self.at_us, cut)
+            built.net.sim.at(self.at_us + self.reboot_delay_us, reboot)
+
+
+#: Valid :class:`DiskFault` kinds.
+DISK_FAULT_KINDS = ("torn_write", "bitrot", "fsync_drop", "disk_full")
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """Turn a dial on the role's :class:`FaultDisk` fault plan.
+
+    * ``torn_write`` — every future power loss tears the in-flight
+      write (keeps a prefix of the unsynced stream);
+    * ``bitrot`` — flip ``count`` random bits in durable files whose
+      name contains ``match`` (default: the WAL segments);
+    * ``fsync_drop`` — the next ``count`` fsyncs lie: report success,
+      persist nothing;
+    * ``disk_full`` — reject writes after ``count`` more bytes.
+
+    A no-op on diskless roles or honest disks, so the one schedule
+    sweeps every workload.
+    """
+
+    at_us: float
+    role: str
+    kind: str
+    count: int = 1
+    match: str = "wal"
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {DISK_FAULT_KINDS}, got {self.kind!r}"
+            )
+
+    def apply(self, built: BuiltWorkload) -> None:
+        node = built.net.nodes[built.mid_of(self.role)]
+
+        def fire() -> None:
+            disk = getattr(node, "disk", None)
+            plan = getattr(disk, "plan", None)
+            if plan is None:
+                return
+            if self.kind == "torn_write":
+                plan.torn_write_probability = 1.0
+            elif self.kind == "bitrot":
+                disk.flip_bits(self.match, self.count)
+            elif self.kind == "fsync_drop":
+                plan.fsync_drop_next += self.count
+            elif self.kind == "disk_full":
+                plan.full_after_bytes = self.count
+
+        built.net.sim.at(self.at_us, fire)
+
+
 Action = Union[
     LossWindow,
     DuplicateWindow,
@@ -303,6 +399,8 @@ Action = Union[
     NodeCrash,
     Reboot,
     ThunderingHerd,
+    PowerLoss,
+    DiskFault,
 ]
 
 #: Action classes, exported for reproducer scripts.
@@ -316,6 +414,8 @@ ACTION_TYPES: Tuple[type, ...] = (
     NodeCrash,
     Reboot,
     ThunderingHerd,
+    PowerLoss,
+    DiskFault,
 )
 
 

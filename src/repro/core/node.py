@@ -50,6 +50,10 @@ class SodaNode:
             node=self,
         )
         self.client: Optional[ClientProcessor] = None
+        # Optional durable storage (repro.durability).  SODA machines
+        # are diskless by default — §3.5.2 reboots are amnesiac — so
+        # this stays None unless the workload attaches a Disk.
+        self.disk = None
 
     def install_program(
         self,
@@ -95,7 +99,15 @@ class SodaNode:
         return processor
 
     def crash(self) -> None:
-        """Power-fail the whole node (client and kernel state lost)."""
+        """Power-fail the whole node (client and kernel state lost).
+
+        A power failure hits the disk too: buffered-but-unsynced writes
+        vanish (possibly mid-write — a torn tail) before RAM does.
+        """
+        if self.disk is not None:
+            power_loss = getattr(self.disk, "power_loss", None)
+            if power_loss is not None:
+                power_loss()
         self.kernel.crash_node()
 
     def crash_client(self) -> None:

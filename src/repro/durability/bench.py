@@ -1,0 +1,121 @@
+"""``python -m repro durability-bench``: the cost of not forgetting.
+
+Three questions, all answered in *modelled* microseconds charged to the
+``disk_io`` ledger category by :class:`SimDisk` — never wall clock, so
+the committed ``BENCH_durability.json`` is byte-stable across machines:
+
+* **replay** — how long does WAL-over-snapshot recovery take as the
+  un-snapshotted log grows?  (Linear in records; the reason snapshots
+  exist.)
+* **snapshot interval** — the compaction tradeoff: frequent snapshots
+  buy cheap recovery at a steady-state write premium.
+* **fsync policy** — what per-record durability (``always``) costs over
+  attestation-point batching (``batch``), with ``never`` as the
+  lower bound that buys no durability at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.durability.disk import SimDisk
+from repro.durability.state import FSYNC_POLICIES, EntryTuple, ReplicaStorage
+from repro.sim.tracing import CostLedger
+
+__all__ = ["run_durability_bench"]
+
+REPLAY_LOG_LENGTHS = (200, 1000, 5000)
+SNAPSHOT_INTERVALS = (16, 64, 256)
+SNAPSHOT_WORKLOAD_RECORDS = 2000
+FSYNC_WORKLOAD_RECORDS = 1000
+FSYNC_BATCH_EVERY = 10  # records per explicit barrier under "batch"
+
+
+def _entry(i: int) -> EntryTuple:
+    return (1, 1, i % 8, 1000 + i, 0)
+
+
+def _fill(
+    storage: ReplicaStorage, records: int, sync_every: int
+) -> List[EntryTuple]:
+    log: List[EntryTuple] = []
+    for i in range(records):
+        entry = _entry(i)
+        log.append(entry)
+        storage.log_entry(i, entry)
+        storage.log_commit(i)
+        if sync_every and (i + 1) % sync_every == 0:
+            storage.sync()
+        storage.maybe_snapshot(1, i, log)
+    storage.sync()
+    return log
+
+
+def _replay_cost(disk: SimDisk) -> Dict[str, float]:
+    """Recover from ``disk`` under a fresh ledger; report what it cost."""
+    ledger = CostLedger()
+    disk.ledger = ledger
+    storage = ReplicaStorage(disk)
+    recovered = storage.recover()
+    return {
+        "replay_disk_us": round(ledger.get("disk_io"), 3),
+        "wal_records_replayed": 0 if recovered is None else recovered.wal_records,
+        "entries_recovered": 0 if recovered is None else len(recovered.log),
+    }
+
+
+def run_durability_bench() -> Dict[str, object]:
+    # 1. Recovery replay time vs WAL length (no snapshots).
+    replay = []
+    for length in REPLAY_LOG_LENGTHS:
+        disk = SimDisk()
+        _fill(
+            ReplicaStorage(disk, snapshot_interval=10**9),
+            length,
+            sync_every=FSYNC_BATCH_EVERY,
+        )
+        row = {"log_entries": length}
+        row.update(_replay_cost(disk))
+        replay.append(row)
+
+    # 2. Snapshot-interval tradeoff at a fixed workload.
+    intervals = []
+    for interval in SNAPSHOT_INTERVALS:
+        ledger = CostLedger()
+        disk = SimDisk(ledger=ledger)
+        storage = ReplicaStorage(disk, snapshot_interval=interval)
+        _fill(storage, SNAPSHOT_WORKLOAD_RECORDS, sync_every=FSYNC_BATCH_EVERY)
+        runtime_us = ledger.get("disk_io")
+        row = {
+            "snapshot_interval": interval,
+            "snapshots_taken": storage.snapshots,
+            "runtime_disk_us": round(runtime_us, 3),
+        }
+        row.update(_replay_cost(disk))
+        intervals.append(row)
+
+    # 3. Fsync-policy A/B at a fixed workload, no snapshots.
+    policies = []
+    for policy in FSYNC_POLICIES:
+        ledger = CostLedger()
+        disk = SimDisk(ledger=ledger)
+        storage = ReplicaStorage(
+            disk, snapshot_interval=10**9, fsync_policy=policy
+        )
+        _fill(storage, FSYNC_WORKLOAD_RECORDS, sync_every=FSYNC_BATCH_EVERY)
+        policies.append(
+            {
+                "fsync_policy": policy,
+                "records": FSYNC_WORKLOAD_RECORDS,
+                "fsyncs": storage.syncs,
+                "runtime_disk_us": round(ledger.get("disk_io"), 3),
+            }
+        )
+
+    return {
+        "benchmark": "durability",
+        "units": "modelled microseconds of disk I/O (SimDisk cost model)",
+        "replay": replay,
+        "snapshot_intervals": intervals,
+        "fsync_policies": policies,
+    }

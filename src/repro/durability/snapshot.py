@@ -1,0 +1,52 @@
+"""Atomic snapshot installation: write, fsync, rename.
+
+A snapshot is a single WAL-framed record in its own file, installed
+with the classic crash-safe dance: write ``snap-<seq>.tmp``, fsync it,
+then rename over the final name.  Rename is the atomic commit point
+(the fault disk journals metadata synchronously, standing in for a
+journalling file system) — a crash before it leaves only a ``.tmp``
+file recovery ignores; a torn write inside it leaves a CRC-invalid
+record that :func:`read_snapshot` rejects, falling back to the previous
+snapshot generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.durability.wal import decode_records, encode_record
+
+__all__ = ["read_snapshot", "snap_name", "parse_snap_seq", "write_snapshot"]
+
+_REC_SNAPSHOT = 0x01
+
+
+def snap_name(seq: int) -> str:
+    return f"snap-{seq}"
+
+
+def parse_snap_seq(name: str) -> Optional[int]:
+    if not name.startswith("snap-"):
+        return None
+    middle = name[5:]
+    return int(middle) if middle.isdigit() else None
+
+
+def write_snapshot(disk, seq: int, blob: bytes) -> None:
+    """Install ``blob`` as snapshot generation ``seq`` atomically."""
+    tmp = f"{snap_name(seq)}.tmp"
+    disk.delete(tmp)
+    disk.write(tmp, 0, encode_record(_REC_SNAPSHOT, blob))
+    disk.fsync(tmp)
+    disk.rename(tmp, snap_name(seq))
+
+
+def read_snapshot(disk, seq: int) -> Optional[bytes]:
+    """The snapshot blob, or ``None`` if missing or corrupt."""
+    name = snap_name(seq)
+    if not disk.exists(name):
+        return None
+    records, _consumed, clean = decode_records(disk.read(name))
+    if not clean or len(records) != 1 or records[0][0] != _REC_SNAPSHOT:
+        return None
+    return records[0][1]

@@ -221,6 +221,8 @@ async def _parent(
     trace_dir: Path,
     out,
     horizon_us: Optional[float],
+    durable: Optional[str] = None,
+    power_loss_at_us: Optional[float] = None,
 ) -> RealRunResult:
     spec = get_real_spec(workload)
     horizon = float(horizon_us) if horizon_us else spec.until_us
@@ -287,6 +289,10 @@ async def _parent(
             "--trace",
             str(trace_paths[mid]),
         ]
+        if durable:
+            argv += ["--durable", durable]
+        if power_loss_at_us is not None:
+            argv += ["--power-loss-at", repr(power_loss_at_us)]
         # Each child leads its own session/process group so a wedged
         # child — including anything it may have forked — can be killed
         # as a group rather than orphaned.
@@ -429,17 +435,36 @@ def run_real(
     out=print,
     horizon_us: Optional[float] = None,
     keep_traces: Optional[str] = None,
+    durable: Optional[str] = None,
+    power_loss_at_us: Optional[float] = None,
 ) -> RealRunResult:
-    """Run one workload across real OS processes and analyze the merge."""
+    """Run one workload across real OS processes and analyze the merge.
+
+    ``durable`` roots each replica role's WAL + snapshots in real files
+    under ``<durable>/<role>`` (a :class:`~repro.durability.disk.
+    FileDisk` behind the standard fault disk); ``power_loss_at_us``
+    power-fails every durable node at that run time and reboots it
+    half a second later, so the cluster must recover from disk.
+    """
+    if power_loss_at_us is not None and not durable:
+        raise ValueError("--power-loss-at requires --durable DIR")
+    if durable:
+        Path(durable).mkdir(parents=True, exist_ok=True)
     if keep_traces:
         trace_dir = Path(keep_traces)
         trace_dir.mkdir(parents=True, exist_ok=True)
         return asyncio.run(
-            _parent(workload, seed, policy, loss, trace_dir, out, horizon_us)
+            _parent(
+                workload, seed, policy, loss, trace_dir, out, horizon_us,
+                durable=durable, power_loss_at_us=power_loss_at_us,
+            )
         )
     with tempfile.TemporaryDirectory(prefix="repro-real-") as tmp:
         return asyncio.run(
-            _parent(workload, seed, policy, loss, Path(tmp), out, horizon_us)
+            _parent(
+                workload, seed, policy, loss, Path(tmp), out, horizon_us,
+                durable=durable, power_loss_at_us=power_loss_at_us,
+            )
         )
 
 
@@ -457,15 +482,40 @@ async def _child(
     loss: float,
     control_port: int,
     trace_path: str,
+    durable_dir: Optional[str] = None,
+    power_loss_at_us: Optional[float] = None,
 ) -> None:
     spec = get_real_spec(workload)
     role = spec.roles[role_index]
-    net.add_node(
+    node = net.add_node(
         mid=role_index,
         program=role.factory(),
         name=role.name,
         boot_at_us=role.boot_at_us,
     )
+    if durable_dir and role.name.startswith("replica"):
+        from repro.durability.disk import DiskFaultPlan, FaultDisk, FileDisk
+
+        node.disk = FaultDisk(
+            FileDisk(os.path.join(durable_dir, role.name)),
+            DiskFaultPlan(seed=100 + role_index),
+        )
+        if power_loss_at_us is not None:
+            # Scripted blackout: power-fail this node mid-run, then
+            # reboot it from its factory half a second later — state
+            # must come back from the FileDisk, not memory.
+            def _cut() -> None:
+                if node.kernel.offline_until is None:
+                    node.crash()
+
+            def _reboot() -> None:
+                boot_at = net.sim.now
+                if node.kernel.offline_until is not None:
+                    boot_at = node.kernel.offline_until
+                node.install_program(role.factory(), boot_at_us=boot_at)
+
+            net.sim.at(power_loss_at_us, _cut)
+            net.sim.at(power_loss_at_us + 500_000.0, _reboot)
     addresses = await net.open()
 
     reader, writer = await asyncio.open_connection("127.0.0.1", control_port)
@@ -524,6 +574,8 @@ def run_real_node(argv: List[str]) -> int:
     seed = int(args.get("seed", "1"))
     policy_name = args.get("policy", "adaptive")
     loss = float(args.get("loss", "0"))
+    durable_dir = args.get("durable")
+    power_loss_text = args.get("power-loss-at")
     impairments = (
         Impairments(loss_probability=loss) if loss > 0.0 else None
     )
@@ -544,6 +596,10 @@ def run_real_node(argv: List[str]) -> int:
                 loss,
                 int(args["control"]),
                 args["trace"],
+                durable_dir=durable_dir,
+                power_loss_at_us=(
+                    float(power_loss_text) if power_loss_text else None
+                ),
             )
         )
     finally:

@@ -18,7 +18,17 @@ and fails the run on:
   mutated state;
 * **stale read** — a GET invoked after a write's acknowledgement that
   returned an older version of the key, or a value token that never
-  was the committed value at the returned version.
+  was the committed value at the returned version;
+* **acked write lost to total state loss** — every replica that ever
+  applied an acknowledged write lost its state afterwards
+  (``kernel.crash`` / ``kernel.die``) and the write was never applied
+  again, while the cluster demonstrably kept running.  This is the
+  silent-empty-store-after-full-cluster-crash case: before durable
+  storage (repro.durability) a simultaneous power loss of all replicas
+  erased acknowledged history with nobody left to contradict, and every
+  other rule here passed vacuously.  Recovery replay re-emits
+  ``kv.apply`` for everything it restores, so a durably rebooted node
+  counts as holding its writes again.
 """
 
 from __future__ import annotations
@@ -33,6 +43,11 @@ def check_kv_consistency(records) -> List[str]:
     problems: List[str] = []
     apply_by_index: Dict[int, Tuple] = {}
     applied_sites: Dict[int, Set[int]] = {}
+    #: token -> {mid: latest kv.apply time} — who holds each write.
+    apply_holders: Dict[int, Dict[int, float]] = {}
+    #: mid -> times its state was erased (power loss or client death).
+    state_loss: Dict[int, List[float]] = {}
+    apply_times: List[float] = []
     write_results = []
     read_results = []
     for rec in records:
@@ -51,8 +66,13 @@ def check_kv_consistency(records) -> List[str]:
                     f"divergent commit at log index {index}: "
                     f"{previous} vs {info}"
                 )
+            apply_times.append(rec.time)
             if rec["applied"] and rec["op"] in ("put", "cas"):
                 applied_sites.setdefault(rec["token"], set()).add(index)
+                holders = apply_holders.setdefault(rec["token"], {})
+                holders[rec["mid"]] = rec.time
+        elif category in ("kernel.crash", "kernel.die"):
+            state_loss.setdefault(rec["mid"], []).append(rec.time)
         elif category == "kv.result":
             entry = (
                 rec.time, rec.get("invoked_at", rec.time), rec["mid"],
@@ -104,6 +124,44 @@ def check_kv_consistency(records) -> List[str]:
                 f"CAS acked as failed but applied: {where} at log "
                 f"indexes {sorted(applied_sites[wtoken])}"
             )
+
+    # Post-total-crash durability: every acked write must still have a
+    # *holder* — a replica whose latest application of it was not
+    # followed by a state-loss event.  If all holders died and any
+    # replica applied anything afterwards (the cluster came back and
+    # ran on without the write), the write was silently lost.  A dark
+    # cluster (no applies after the loss) is unavailability, not loss,
+    # and is judged by the liveness/availability checks instead.
+    last_apply = max(apply_times) if apply_times else float("-inf")
+    reported_lost: Set[int] = set()
+    for (_t_ack, _t0, mid, seq, op, key, status, _v, _vtok, wtoken) in (
+        write_results
+    ):
+        if status != "ok" or wtoken in reported_lost:
+            continue
+        holders = apply_holders.get(wtoken)
+        if not holders:
+            continue  # already reported as lost-acknowledged-write
+        loss_time = float("-inf")
+        held = False
+        for site, applied_at in holders.items():
+            erased_at = next(
+                (t for t in state_loss.get(site, ()) if t > applied_at),
+                None,
+            )
+            if erased_at is None:
+                held = True
+                break
+            loss_time = max(loss_time, erased_at)
+        if held or last_apply <= loss_time:
+            continue
+        reported_lost.add(wtoken)
+        problems.append(
+            f"acknowledged write lost to total state loss: {op} "
+            f"(mid={mid}, seq={seq}, key={key}) was applied only on "
+            f"replicas that all lost state by t={loss_time:.0f}, and "
+            f"the cluster kept running without it"
+        )
 
     for (_t_ack, t0, mid, seq, _op, key, status, version, vtok, _w) in (
         read_results

@@ -39,6 +39,7 @@ from repro.core.buffers import Buffer
 from repro.core.client import ClientProgram
 from repro.core.errors import RequestStatus, SodaError
 from repro.core.signatures import ServerSignature
+from repro.durability.state import ReplicaStorage
 from repro.replication.wire import (
     ACK_FENCED,
     ACK_GAP,
@@ -94,6 +95,8 @@ class KvReplica(ClientProgram):
         repl_interval_us: float = 20_000.0,
         write_deadline_us: float = 2_500_000.0,
         read_deadline_us: float = 1_200_000.0,
+        snapshot_interval: int = 64,
+        fsync_policy: str = "batch",
     ) -> None:
         self.index = index
         self.peer_mids = tuple(peer_mids)
@@ -102,6 +105,11 @@ class KvReplica(ClientProgram):
         self.repl_interval_us = repl_interval_us
         self.write_deadline_us = write_deadline_us
         self.read_deadline_us = read_deadline_us
+        self.snapshot_interval = snapshot_interval
+        self.fsync_policy = fsync_policy
+        #: Durable storage, bound at initialization when the node has a
+        #: disk; None on diskless nodes (the amnesiac SODA default).
+        self.storage: Optional[ReplicaStorage] = None
 
         self.epoch = 0
         self.primary = False
@@ -128,6 +136,37 @@ class KvReplica(ClientProgram):
     # -- program -------------------------------------------------------
 
     def initialization(self, api, parent_mid):
+        disk = api.node_disk
+        if disk is not None:
+            self.storage = ReplicaStorage(
+                disk,
+                snapshot_interval=self.snapshot_interval,
+                fsync_policy=self.fsync_policy,
+            )
+            recovered = self.storage.recover()
+            if recovered is not None:
+                # WAL-over-snapshot replay: rejoin with everything we
+                # ever attested to holding, instead of §3.5.2 amnesia.
+                self.epoch = recovered.epoch
+                self.log = [Entry(*fields) for fields in recovered.log]
+                self.dedup = {
+                    entry.token: i
+                    for i, entry in enumerate(self.log)
+                    if entry.token
+                }
+                self._advance_commit_to(api, recovered.commit)
+                self._trace(
+                    api, "kv.recover",
+                    epoch=self.epoch, entries=len(self.log),
+                    commit=self.commit, clean=recovered.clean,
+                    source=recovered.source,
+                )
+            else:
+                self._trace(
+                    api, "kv.recover",
+                    epoch=0, entries=0, commit=0, clean=True,
+                    source="amnesia",
+                )
         yield from api.advertise(REPL_PATTERN)
 
     def handler(self, api, event):
@@ -175,7 +214,9 @@ class KvReplica(ClientProgram):
             yield from self._reject(api, asker)
             return
         idx = len(self.log)
-        self.log.append(Entry(self.epoch, op, key, token, _expected))
+        entry = Entry(self.epoch, op, key, token, _expected)
+        self.log.append(entry)
+        self._persist_entry(idx, entry)
         self.dedup[token] = idx
         self.waiters.append((asker, idx, token, api.now))
 
@@ -198,6 +239,10 @@ class KvReplica(ClientProgram):
             elif header.epoch >= self.epoch:
                 yield from self._adopt(api, header.epoch)
                 granted = not (self.primary and header.epoch == self.epoch)
+            # The reply below *attests* our state (a grant is a fencing
+            # promise; a CONFIRM claims log possession) — everything it
+            # claims must be durable before it leaves the node.
+            self._persist_sync()
             last_epoch = self.log[-1].epoch if self.log else 0
             yield from self._accept_arg(
                 api,
@@ -288,6 +333,7 @@ class KvReplica(ClientProgram):
                     return False
                 self._truncate_to(api, i)
             self.log.append(entry)
+            self._persist_entry(i, entry)
             if entry.token:
                 self.dedup[entry.token] = i
             appended += 1
@@ -304,11 +350,17 @@ class KvReplica(ClientProgram):
             if entry.token and self.dedup.get(entry.token, -1) >= index:
                 del self.dedup[entry.token]
         del self.log[index:]
+        if self.storage is not None:
+            self.storage.log_truncate(index)
 
     def _advance_commit_to(self, api, target: int) -> None:
+        advanced = self.commit < target
         while self.commit < target:
             self._apply(api, self.commit)
             self.commit += 1
+        if advanced and self.storage is not None:
+            self.storage.log_commit(self.commit)
+            self.storage.maybe_snapshot(self.epoch, self.commit, self.log)
 
     def _apply(self, api, index: int) -> None:
         entry = self.log[index]
@@ -368,6 +420,10 @@ class KvReplica(ClientProgram):
             elif code == ACK_FENCED:
                 yield from self._adopt(api, value)
                 return
+        # The quorum count below includes our own log length: make it
+        # durable before counting ourselves, same as peers do before
+        # their CONFIRM replies.
+        self._persist_sync()
         confirms = []
         for mid in self.peer_mids:
             tid = yield from api.request(
@@ -491,11 +547,13 @@ class KvReplica(ClientProgram):
             if len(granters) < self.quorum - 1:
                 if seen_epoch > self.epoch:
                     self.epoch = seen_epoch
+                    self._persist_epoch()
                 yield api.compute(
                     50_000.0 * (attempt + 1) * (1.0 + 0.17 * self.index)
                 )
                 continue
             self.epoch = proposed
+            self._persist_epoch()
             own_last = self.log[-1].epoch if self.log else 0
             best: Optional[int] = None
             best_key = (own_last, len(self.log))
@@ -513,7 +571,10 @@ class KvReplica(ClientProgram):
             self._quorum_confirmed_at = float("-inf")
             # The barrier no-op: commit can only advance onto an entry
             # of the current epoch, and this guarantees there is one.
-            self.log.append(Entry(self.epoch, OP_NOOP, 0, 0, 0))
+            barrier = Entry(self.epoch, OP_NOOP, 0, 0, 0)
+            self.log.append(barrier)
+            self._persist_entry(len(self.log) - 1, barrier)
+            self._persist_sync()
             self._trace(api, "kv.promote", epoch=self.epoch, length=len(self.log))
             yield from api.advertise(KV_PATTERN)
             return True
@@ -548,12 +609,31 @@ class KvReplica(ClientProgram):
             target_length = min(target_length, peer_length)
         return True
 
+    # -- durability hooks ----------------------------------------------
+    #
+    # All no-ops on a diskless node; on a full disk the storage flips
+    # to degraded and they become no-ops again (availability over
+    # durability — the replica keeps serving from memory).
+
+    def _persist_entry(self, index: int, entry: Entry) -> None:
+        if self.storage is not None:
+            self.storage.log_entry(index, entry)
+
+    def _persist_epoch(self) -> None:
+        if self.storage is not None:
+            self.storage.log_epoch(self.epoch)
+
+    def _persist_sync(self) -> None:
+        if self.storage is not None:
+            self.storage.sync()
+
     # -- small helpers -------------------------------------------------
 
     def _adopt(self, api, epoch: int):
         """Adopt a (weakly) newer epoch; step down if we led an older one."""
         if epoch > self.epoch:
             self.epoch = epoch
+            self._persist_epoch()
             self.matched = {}
             if self.primary:
                 self.primary = False

@@ -150,6 +150,7 @@ class CostLedger:
         "transmission",
         "client_overhead",
         "protocol",
+        "disk_io",
     )
 
     def __init__(self) -> None:

@@ -95,6 +95,15 @@ class SodalApi:
         return self.kernel.config.timing
 
     @property
+    def node_disk(self):
+        """This node's durable :class:`~repro.durability.disk.Disk`.
+
+        ``None`` on diskless nodes — the SODA default, where a reboot
+        is amnesiac (§3.5.2) and programs must tolerate it.
+        """
+        return getattr(getattr(self.kernel, "node", None), "disk", None)
+
+    @property
     def now(self) -> float:
         return self.sim.now
 

@@ -115,6 +115,9 @@ def test_lint_json_snapshot(tmp_path):
 def test_main_help_mentions_analysis_commands():
     import repro.__main__ as entry
 
-    assert "lint" in entry.__doc__
-    assert "check-trace" in entry.__doc__
-    assert "causal" in entry.__doc__
+    help_text = entry._render_help()
+    assert "lint" in help_text
+    assert "check-trace" in help_text
+    assert "causal" in help_text
+    for name in ("lint", "check-trace", "causal", "causal-bench"):
+        assert name in entry.COMMANDS

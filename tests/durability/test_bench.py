@@ -1,0 +1,41 @@
+"""Durability bench: schema and determinism (modeled time, not wall)."""
+
+from repro.durability.bench import run_durability_bench
+
+
+def test_bench_schema_and_determinism():
+    payload = run_durability_bench()
+    assert payload["benchmark"] == "durability"
+    assert "disk I/O" in payload["units"]
+
+    replay = payload["replay"]
+    assert [row["log_entries"] for row in replay] == [200, 1000, 5000]
+    for row in replay:
+        assert row["wal_records_replayed"] > 0
+        assert row["replay_disk_us"] > 0
+        assert row["entries_recovered"] == row["log_entries"]
+    # More log means more replay work — the curve the bench exists to show.
+    times = [row["replay_disk_us"] for row in replay]
+    assert times == sorted(times) and times[0] < times[-1]
+
+    intervals = payload["snapshot_intervals"]
+    assert [row["snapshot_interval"] for row in intervals] == [16, 64, 256]
+    for row in intervals:
+        assert row["snapshots_taken"] >= 1
+        assert row["replay_disk_us"] >= 0
+        assert row["entries_recovered"] == 2000
+    # Tighter snapshot cadence buys cheaper replay at higher runtime cost.
+    assert intervals[0]["runtime_disk_us"] > intervals[-1]["runtime_disk_us"]
+
+    policies = {row["fsync_policy"]: row for row in payload["fsync_policies"]}
+    assert set(policies) == {"always", "batch", "never"}
+    assert policies["never"]["fsyncs"] == 0
+    assert policies["always"]["fsyncs"] > policies["batch"]["fsyncs"] > 0
+    assert (
+        policies["always"]["runtime_disk_us"]
+        > policies["batch"]["runtime_disk_us"]
+        >= policies["never"]["runtime_disk_us"]
+    )
+
+    # Modeled time is deterministic: a second run is byte-identical.
+    assert run_durability_bench() == payload

@@ -132,3 +132,59 @@ def test_summary_counts_promotions():
         TraceRecord(9.0, "kv.promote", {"mid": 1, "epoch": 2}),
     ]
     assert kv_summary(records)["promotions"] == 2
+
+
+def _crash(time, mid):
+    return TraceRecord(time, "kernel.crash", {"mid": mid})
+
+
+def test_total_state_loss_of_acknowledged_write_detected():
+    """Every replica that applied the write crashed after applying it,
+    and the cluster kept going without the write: loud failure."""
+    records = [
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _apply(6.0, 1, 0, 1, "put", 1, 77),
+        _crash(20.0, 0),
+        _crash(21.0, 1),
+        # The cluster runs on (fresh election no-op) minus the write.
+        _apply(30.0, 2, 0, 2, "noop", 0, 0),
+    ]
+    problems = check_kv_consistency(records)
+    assert any("total state loss" in p for p in problems)
+
+
+def test_state_loss_silent_when_one_holder_survives():
+    records = [
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _apply(6.0, 1, 0, 1, "put", 1, 77),
+        _crash(20.0, 0),  # replica 1 never crashes: state survives
+        _apply(30.0, 2, 1, 2, "noop", 0, 0),
+    ]
+    assert check_kv_consistency(records) == []
+
+
+def test_state_loss_silent_when_holder_reapplies_after_reboot():
+    """Durable recovery re-emits kv.apply after the crash — the write
+    is held again, so the earlier crash is not a loss."""
+    records = [
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _crash(20.0, 0),
+        _apply(25.0, 0, 0, 1, "put", 1, 77),  # recovery replay
+        _apply(30.0, 2, 1, 2, "noop", 0, 0),
+    ]
+    assert check_kv_consistency(records) == []
+
+
+def test_state_loss_silent_when_cluster_goes_dark():
+    """Everyone crashes and nothing ever runs again: that is an
+    unavailability story, not a silent-loss story — nobody served
+    reads that contradict the write."""
+    records = [
+        _result(10.0, 9, 0, "put", 1, "ok", 1, 77, 77),
+        _apply(5.0, 0, 0, 1, "put", 1, 77),
+        _crash(20.0, 0),
+    ]
+    assert check_kv_consistency(records) == []

@@ -182,7 +182,7 @@ def test_kv_bench_body_shape_and_verdicts():
     body = run_kv_bench(seed=1)
     assert body["workload"] == "kvstore_supervised"
     assert set(body["schedules"]) == {
-        "calm", "primary_crash_load", "partition_heal"
+        "calm", "primary_crash_load", "partition_heal", "cluster_restart"
     }
     comparison = body["comparison"]
     assert comparison["all_consistent"] is True

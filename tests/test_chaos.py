@@ -44,6 +44,10 @@ GATE_CELLS = [
     ("kvstore_supervised", "primary_crash_load"),
     ("kvstore_supervised", "backup_flap"),
     ("kvstore_supervised", "partition_heal"),
+    ("kvstore", "cluster_restart"),
+    ("kvstore", "cluster_power_loss"),
+    ("kvstore", "torn_write_primary"),
+    ("kvstore_supervised", "bitrot_backup"),
 ]
 
 

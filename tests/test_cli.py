@@ -139,3 +139,34 @@ def test_recover_demo_converges(capsys, tmp_path):
     assert counts["reboots_issued"] >= 1
     assert counts["restored"] >= 1
     assert payload["body"]["selfheal_problems"] == []
+
+
+def test_help_lists_every_registered_command(capsys):
+    """--help renders from the COMMANDS registry, so every subcommand
+    that dispatches is documented — no drift possible."""
+    from repro.__main__ import COMMANDS
+
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for name, command in COMMANDS.items():
+        assert f"python -m repro {command.usage}" in out, name
+        assert command.description
+    # The registry itself is the single dispatch surface.
+    for expected in (
+        "quickstart", "chaos", "kv-bench", "durability-bench", "real",
+    ):
+        assert expected in COMMANDS
+
+
+def test_durability_bench_writes_snapshot(capsys, tmp_path):
+    import json
+
+    json_path = tmp_path / "durability.json"
+    assert main(["durability-bench", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Recovery replay cost" in out
+    assert "fsync always > batch >= never: True" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["schema"] == "soda.bench/1"
+    assert payload["kind"] == "durability_bench"
+    assert payload["body"]["benchmark"] == "durability"
